@@ -1,0 +1,193 @@
+// Command credcard is a persistent credit-card CLI against a disk
+// database. Because each invocation is a separate process, it
+// demonstrates Ode's *global* composite events (§7): TriggerStates live
+// in the database, so a pattern armed by one process run fires in a later
+// one — the capability the paper contrasts with Sentinel's
+// transient-memory (local-only) detection.
+//
+// Usage:
+//
+//	credcard -db card.eos init -limit 1000
+//	credcard -db card.eos watch -raise 500     # activate AutoRaiseLimit
+//	credcard -db card.eos buy -amount 900      # process 1 arms the pattern
+//	credcard -db card.eos pay -amount 100      # process 2 fires it
+//	credcard -db card.eos report
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ode"
+)
+
+// CredCard is the paper's §4 class (see examples/quickstart).
+type CredCard struct {
+	Holder     string
+	CredLim    float64
+	CurrBal    float64
+	GoodHist   bool
+	BlackMarks []string
+}
+
+func credCardClass() *ode.Class {
+	return ode.MustClass("CredCard",
+		ode.Factory(func() any { return new(CredCard) }),
+		ode.Method("Buy", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal += args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("PayBill", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal -= args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("RaiseLimit", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CredLim += args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("BlackMark", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.BlackMarks = append(c.BlackMarks, args[0].(string))
+			return nil, nil
+		}),
+		ode.Events("after Buy", "after PayBill", "BigBuy"),
+		ode.Mask("OverLimit", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			c := self.(*CredCard)
+			return c.CurrBal > c.CredLim, nil
+		}),
+		ode.Mask("MoreCred", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			c := self.(*CredCard)
+			return c.CurrBal > 0.8*c.CredLim && c.GoodHist, nil
+		}),
+		ode.Trigger("DenyCredit", "after Buy & OverLimit",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				if _, err := ctx.Invoke(ctx.Self(), "BlackMark", "Over Limit"); err != nil {
+					return err
+				}
+				ctx.TAbort()
+				return nil
+			},
+			ode.Perpetual()),
+		ode.Trigger("AutoRaiseLimit", "relative((after Buy & MoreCred()), after PayBill)",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "RaiseLimit", act.ArgFloat(0))
+				return err
+			}),
+	)
+}
+
+// cardRef finds the single card through the "cards" cluster.
+func cardRef(db *ode.Database, tx *ode.Txn) (ode.Ref, error) {
+	var found ode.Ref
+	err := db.ClusterScan(tx, "cards", func(r ode.Ref) error {
+		found = r
+		return nil
+	})
+	if err != nil {
+		return found, err
+	}
+	if found.IsNil() {
+		return found, errors.New("no card in this database; run init first")
+	}
+	return found, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	dbPath := flag.String("db", "card.eos", "database file")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: credcard -db FILE {init|watch|buy|pay|bigbuy|report} [flags]")
+	}
+	cmd := flag.Arg(0)
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	limit := sub.Float64("limit", 1000, "credit limit (init)")
+	holder := sub.String("holder", "Narain", "card holder (init)")
+	amount := sub.Float64("amount", 100, "amount (buy/pay)")
+	raise := sub.Float64("raise", 500, "raise amount (watch)")
+	sub.Parse(flag.Args()[1:])
+
+	db, err := ode.OpenDisk(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(credCardClass()); err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "init":
+		tx := db.Begin()
+		ref, err := db.Create(tx, "CredCard", &CredCard{
+			Holder: *holder, CredLim: *limit, GoodHist: true,
+		})
+		must(err)
+		must(db.ClusterAdd(tx, "cards", ref))
+		_, err = db.Activate(tx, ref, "DenyCredit")
+		must(err)
+		must(tx.Commit())
+		fmt.Printf("card created for %s with limit $%.0f (DenyCredit active)\n", *holder, *limit)
+
+	case "watch":
+		tx := db.Begin()
+		ref, err := cardRef(db, tx)
+		must(err)
+		id, err := db.Activate(tx, ref, "AutoRaiseLimit", *raise)
+		must(err)
+		must(tx.Commit())
+		fmt.Printf("AutoRaiseLimit($%.0f) activated: %v\n", *raise, id)
+
+	case "buy", "pay", "bigbuy":
+		tx := db.Begin()
+		ref, err := cardRef(db, tx)
+		must(err)
+		switch cmd {
+		case "buy":
+			_, err = db.Invoke(tx, ref, "Buy", *amount)
+		case "pay":
+			_, err = db.Invoke(tx, ref, "PayBill", *amount)
+		case "bigbuy":
+			err = db.PostUserEvent(tx, ref, "BigBuy")
+		}
+		must(err)
+		if err := tx.Commit(); errors.Is(err, ode.ErrAborted) {
+			fmt.Println("DECLINED: transaction aborted by DenyCredit")
+			os.Exit(2)
+		} else {
+			must(err)
+		}
+		fmt.Printf("%s ok\n", cmd)
+
+	case "report":
+		tx := db.Begin()
+		defer tx.Abort()
+		ref, err := cardRef(db, tx)
+		must(err)
+		c, err := ode.Get[*CredCard](db, tx, ref)
+		must(err)
+		fmt.Printf("holder:  %s\nbalance: $%.2f\nlimit:   $%.2f\nmarks:   %v\n",
+			c.Holder, c.CurrBal, c.CredLim, c.BlackMarks)
+		active, err := db.ActiveTriggers(tx, ref)
+		must(err)
+		fmt.Println("active triggers:")
+		for _, a := range active {
+			fmt.Printf("  %-15s state=%d args=%v (%v)\n", a.Trigger, a.StateNum, a.Args, a.ID)
+		}
+
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

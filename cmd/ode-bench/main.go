@@ -1,0 +1,64 @@
+// Command ode-bench runs the full reproduction experiment suite E1–E15
+// (see DESIGN.md for the catalogue and EXPERIMENTS.md for recorded
+// results) and prints one paper-shaped table per experiment, followed by
+// a pass/fail summary against the paper's predicted shapes.
+//
+// Usage:
+//
+//	ode-bench [-quick] [-only E5,E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ode/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	quick := flag.Bool("quick", false, "reduced iteration counts")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E5); empty runs all")
+	flag.Parse()
+
+	r := &experiments.Runner{
+		W:   os.Stdout,
+		Cfg: experiments.Config{Quick: *quick},
+	}
+	if *only == "" {
+		results := r.RunAll()
+		for _, res := range results {
+			if !res.Passed {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fns := map[string]func() experiments.Result{
+		"E1": r.E1, "E2": r.E2, "E3": r.E3, "E4": r.E4, "E5": r.E5,
+		"E6": r.E6, "E7": r.E7, "E8": r.E8, "E9": r.E9, "E10": r.E10,
+		"E11": r.E11, "E12": r.E12, "E13": r.E13, "E14": r.E14, "E15": r.E15,
+	}
+	failed := false
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		fn, ok := fns[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q (valid: E1..E15)", id)
+		}
+		res := fn()
+		verdict := "ok"
+		if !res.Passed {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("-> %s %s: %s\n\n", res.ID, verdict, res.Summary)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// Command ode-inspect dumps the physical and trigger-level contents of an
+// Ode database file without needing the application's class definitions:
+// the catalog, every object envelope (class, flags, payload preview),
+// every persistent TriggerState (§5.4.1), and the object→trigger index.
+//
+// Usage:
+//
+//	ode-inspect [-v] file.eos
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"ode/internal/lock"
+	"ode/internal/obj"
+	"ode/internal/storage"
+	"ode/internal/storage/eos"
+	"ode/internal/txn"
+)
+
+func main() {
+	log.SetFlags(0)
+	verbose := flag.Bool("v", false, "print full payloads")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: ode-inspect [-v] file.eos")
+	}
+	store, err := eos.Open(flag.Arg(0), eos.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	tm := txn.NewManager(store, lock.NewManager())
+	om, err := obj.New(tm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx := tm.Begin()
+	defer tx.Abort()
+
+	classNames, err := om.ClassNames(tx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d classes\n", len(classNames))
+	ids := make([]int, 0, len(classNames))
+	for id := range classNames {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  class %d: %s\n", id, classNames[uint32(id)])
+	}
+
+	// Walk every stored object, classifying by shape.
+	type objRow struct {
+		oid   storage.OID
+		class string
+		flags string
+		size  int
+		body  string
+	}
+	var objects, trigs []objRow
+	err = store.Iterate(func(oid storage.OID, data []byte) error {
+		if oid < obj.FirstUserOID {
+			return nil // catalog and index buckets
+		}
+		// TriggerStates are bare JSON; objects have envelopes.
+		if h, payload, err := obj.DecodeEnvelope(data); err == nil {
+			if name, ok := classNames[h.ClassID]; ok {
+				var flags []string
+				if h.Flags&obj.FlagHasTriggers != 0 {
+					flags = append(flags, "triggers")
+				}
+				if h.Flags&obj.FlagTxnEvents != 0 {
+					flags = append(flags, "txn-events")
+				}
+				objects = append(objects, objRow{
+					oid: oid, class: name, flags: strings.Join(flags, ","),
+					size: len(payload), body: preview(payload, *verbose),
+				})
+				return nil
+			}
+		}
+		var ts struct {
+			TriggerName string `json:"trigger_name"`
+			ObjOID      uint64 `json:"obj_oid"`
+			StateNum    int32  `json:"state_num"`
+			OwnerClass  uint32 `json:"owner_class"`
+			Args        []any  `json:"args"`
+		}
+		if json.Unmarshal(data, &ts) == nil && ts.TriggerName != "" {
+			trigs = append(trigs, objRow{
+				oid:   oid,
+				class: classNames[ts.OwnerClass],
+				body: fmt.Sprintf("%s on obj %d, state %d, args %v",
+					ts.TriggerName, ts.ObjOID, ts.StateNum, ts.Args),
+			})
+			return nil
+		}
+		var cl struct {
+			Name    string
+			Members []uint64
+		}
+		if gob.NewDecoder(bytes.NewReader(data)).Decode(&cl) == nil && cl.Name != "" {
+			objects = append(objects, objRow{
+				oid: oid, class: "(cluster)", size: len(data),
+				body: fmt.Sprintf("%q: %d members %v", cl.Name, len(cl.Members), cl.Members),
+			})
+			return nil
+		}
+		objects = append(objects, objRow{oid: oid, class: "?", size: len(data), body: preview(data, *verbose)})
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sortRows := func(rows []objRow) {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].oid < rows[j].oid })
+	}
+	sortRows(objects)
+	sortRows(trigs)
+
+	fmt.Printf("\nobjects: %d\n", len(objects))
+	for _, o := range objects {
+		fmt.Printf("  oid %-5d %-12s %-18s %5dB  %s\n", o.oid, o.class, "["+o.flags+"]", o.size, o.body)
+	}
+	fmt.Printf("\ntrigger states: %d\n", len(trigs))
+	for _, o := range trigs {
+		fmt.Printf("  oid %-5d (class %s) %s\n", o.oid, o.class, o.body)
+	}
+
+	st := store.Stats()
+	fmt.Printf("\nstore stats: %d reads, %d page reads, %d cache hits\n",
+		st.Reads, st.PageReads, st.CacheHits)
+}
+
+func preview(data []byte, full bool) string {
+	s := string(data)
+	if !full && len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return strings.Map(func(r rune) rune {
+		if r < 32 {
+			return '.'
+		}
+		return r
+	}, s)
+}

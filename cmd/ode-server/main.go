@@ -1,0 +1,137 @@
+// Command ode-server serves an Ode database to concurrent network
+// clients — the multi-application deployment in which the paper's
+// *global* composite events (§7) matter: transactions from different
+// applications jointly advance persistent trigger patterns.
+//
+// Class definitions are Go code, so — like an O++ application linking the
+// object manager (§2) — the server binary carries the schema. This demo
+// server exposes the paper's §4 CredCard class; embed your own classes by
+// building a variant around internal/server.New.
+//
+// Usage:
+//
+//	ode-server -db cards.eos -addr 127.0.0.1:7047
+//
+// Protocol (newline-delimited JSON, one transaction per connection):
+//
+//	{"op":"begin"}
+//	{"op":"create","class":"CredCard","value":{"CredLim":1000,"GoodHist":true}}
+//	{"op":"activate","ref":18,"trigger":"AutoRaiseLimit","args":[500]}
+//	{"op":"invoke","ref":18,"method":"Buy","args":[900]}
+//	{"op":"commit"}
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"ode"
+	"ode/internal/core"
+	"ode/internal/server"
+)
+
+// CredCard is the served schema (the paper's §4 class).
+type CredCard struct {
+	Holder     string
+	CredLim    float64
+	CurrBal    float64
+	GoodHist   bool
+	BlackMarks []string
+}
+
+func credCardClass() *ode.Class {
+	return ode.MustClass("CredCard",
+		ode.Factory(func() any { return new(CredCard) }),
+		ode.Method("Buy", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal += args[0].(float64)
+			return c.CurrBal, nil
+		}),
+		ode.Method("PayBill", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal -= args[0].(float64)
+			return c.CurrBal, nil
+		}),
+		ode.Method("RaiseLimit", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CredLim += args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("BlackMark", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.BlackMarks = append(c.BlackMarks, args[0].(string))
+			return nil, nil
+		}),
+		ode.Events("after Buy", "after PayBill", "BigBuy"),
+		ode.Mask("OverLimit", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			c := self.(*CredCard)
+			return c.CurrBal > c.CredLim, nil
+		}),
+		ode.Mask("MoreCred", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			c := self.(*CredCard)
+			return c.CurrBal > 0.8*c.CredLim && c.GoodHist, nil
+		}),
+		ode.Trigger("DenyCredit", "after Buy & OverLimit",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				if _, err := ctx.Invoke(ctx.Self(), "BlackMark", "Over Limit"); err != nil {
+					return err
+				}
+				ctx.TAbort()
+				return nil
+			},
+			ode.Perpetual()),
+		ode.Trigger("AutoRaiseLimit", "relative((after Buy & MoreCred()), after PayBill)",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "RaiseLimit", act.ArgFloat(0))
+				return err
+			}),
+	)
+}
+
+func main() {
+	log.SetFlags(0)
+	dbPath := flag.String("db", "ode-server.eos", "database file (disk store)")
+	addr := flag.String("addr", "127.0.0.1:7047", "listen address")
+	mem := flag.Bool("mem", false, "use the main-memory store instead of disk")
+	flag.Parse()
+
+	var db *ode.Database
+	var err error
+	if *mem {
+		db, err = ode.OpenMemory()
+	} else {
+		db, err = ode.OpenDisk(*dbPath)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(credCardClass()); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := server.New(dbCore(db))
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ode-server listening on %s (db: %s)", bound, storeName(*mem, *dbPath))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("shutting down")
+	srv.Close()
+}
+
+// dbCore unwraps the facade alias (ode.Database = core.Database).
+func dbCore(db *ode.Database) *core.Database { return db }
+
+func storeName(mem bool, path string) string {
+	if mem {
+		return "main-memory (dali)"
+	}
+	return path
+}

@@ -1,0 +1,70 @@
+package ode_test
+
+import (
+	"errors"
+	"fmt"
+
+	"ode"
+)
+
+// Wallet is the documented example's persistent class.
+type Wallet struct {
+	Balance float64
+	Limit   float64
+}
+
+// Example reproduces the paper's trigger pattern in miniature: a
+// perpetual mask-guarded trigger taborts overdrafts.
+func Example() {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	wallet := ode.MustClass("Wallet",
+		ode.Factory(func() any { return new(Wallet) }),
+		ode.Method("Spend", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			w := self.(*Wallet)
+			w.Balance -= args[0].(float64)
+			return w.Balance, nil
+		}),
+		ode.Events("after Spend"),
+		ode.Mask("Overdrawn", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return self.(*Wallet).Balance < 0, nil
+		}),
+		// trigger Deny() : perpetual after Spend & (balance < 0) ==> tabort
+		ode.Trigger("Deny", "after Spend & Overdrawn",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				ctx.TAbort()
+				return nil
+			},
+			ode.Perpetual()),
+	)
+	if err := db.Register(wallet); err != nil {
+		panic(err)
+	}
+
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "Wallet", &Wallet{Balance: 100})
+	db.Activate(tx, ref, "Deny")
+	tx.Commit()
+
+	tx = db.Begin()
+	db.Invoke(tx, ref, "Spend", 40.0)
+	fmt.Println("spend 40:", tx.Commit() == nil)
+
+	tx = db.Begin()
+	db.Invoke(tx, ref, "Spend", 500.0)
+	fmt.Println("spend 500 aborted:", errors.Is(tx.Commit(), ode.ErrAborted))
+
+	tx = db.Begin()
+	w, _ := ode.Get[*Wallet](db, tx, ref)
+	fmt.Println("balance:", w.Balance)
+	tx.Abort()
+
+	// Output:
+	// spend 40: true
+	// spend 500 aborted: true
+	// balance: 60
+}

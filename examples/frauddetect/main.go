@@ -1,0 +1,142 @@
+// Command frauddetect shows composite-event fraud monitoring: the
+// card-testing pattern (a run of small purchases immediately followed by
+// a large one) is expressed as a single event expression with masks,
+//
+//	after Buy & Small, *(after Buy & Small), after Buy & Large
+//
+// and the alert trigger uses the !dependent (Independent) coupling mode —
+// so the alert is recorded in its own transaction and survives even when
+// the suspicious purchase itself is aborted (§4.2, §5.5). This is the
+// use case detached coupling exists for: evidence must outlive the
+// transaction that produced it.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"ode"
+)
+
+// Card is a monitored payment card.
+type Card struct {
+	PAN     string
+	Balance float64
+	Limit   float64
+}
+
+// FraudDesk collects alerts; it is a separate persistent object so the
+// detached action writes land somewhere visible after aborts.
+type FraudDesk struct {
+	Alerts []string
+}
+
+func classes() []*ode.Class {
+	desk := ode.MustClass("FraudDesk",
+		ode.Factory(func() any { return new(FraudDesk) }),
+		ode.Method("Report", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			d := self.(*FraudDesk)
+			d.Alerts = append(d.Alerts, args[0].(string))
+			return nil, nil
+		}),
+	)
+	card := ode.MustClass("Card",
+		ode.Factory(func() any { return new(Card) }),
+		ode.Method("Buy", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*Card)
+			amt := args[0].(float64)
+			c.Balance += amt
+			if c.Balance > c.Limit {
+				ctx.TAbort() // issuer declines, transaction rolls back
+			}
+			return nil, nil
+		}),
+		ode.Events("after Buy"),
+		// Masks read the purchase amount straight from the posting
+		// event's member-function arguments — the paper's §8 "attributes
+		// of events" extension, implemented here.
+		ode.Mask("Small", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return act.EventArgFloat(0) < 5, nil
+		}),
+		ode.Mask("Large", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return act.EventArgFloat(0) >= 500, nil
+		}),
+		ode.Trigger("CardTesting",
+			"after Buy & Small, *(after Buy & Small), after Buy & Large",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				c := self.(*Card)
+				deskRef := ode.RefFromOID(uint64(act.ArgFloat(0)))
+				_, err := ctx.Invoke(deskRef, "Report",
+					fmt.Sprintf("card %s: small-buy run then $%.0f purchase", c.PAN, act.EventArgFloat(0)))
+				return err
+			},
+			ode.WithCoupling(ode.Independent), ode.Perpetual()),
+	)
+	return []*ode.Class{desk, card}
+}
+
+func main() {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(classes()...); err != nil {
+		log.Fatal(err)
+	}
+
+	tx := db.Begin()
+	desk, err := db.Create(tx, "FraudDesk", &FraudDesk{})
+	must(err)
+	card, err := db.Create(tx, "Card", &Card{PAN: "4000-0000-1234", Limit: 600})
+	must(err)
+	_, err = db.Activate(tx, card, "CardTesting", float64(desk.OID()))
+	must(err)
+	must(tx.Commit())
+	fmt.Println("card monitored for the card-testing pattern (small*, large)")
+
+	buy := func(amount float64) error {
+		tx := db.Begin()
+		if _, err := db.Invoke(tx, card, "Buy", amount); err != nil {
+			tx.Abort()
+			return err
+		}
+		return tx.Commit()
+	}
+
+	// The fraudster probes with small purchases...
+	for _, amt := range []float64{1, 2, 1} {
+		must(buy(amt))
+		fmt.Printf("  buy $%.0f ok\n", amt)
+	}
+	// ...then attempts the real hit, which the issuer declines (the
+	// balance would exceed the limit, so Buy taborts).
+	err = buy(650)
+	if !errors.Is(err, ode.ErrAborted) {
+		log.Fatalf("expected the big purchase to be declined, got %v", err)
+	}
+	fmt.Println("  buy $650 DECLINED (transaction aborted)")
+
+	// The purchase rolled back — but the !dependent alert survived.
+	rtx := db.Begin()
+	defer rtx.Abort()
+	d, err := ode.Get[*FraudDesk](db, rtx, desk)
+	must(err)
+	c, err := ode.Get[*Card](db, rtx, card)
+	must(err)
+	fmt.Printf("card balance after decline: $%.0f (attempt rolled back)\n", c.Balance)
+	if len(d.Alerts) == 0 {
+		log.Fatal("alert lost with the aborted transaction — coupling broken")
+	}
+	fmt.Printf("fraud desk has %d alert(s) despite the abort:\n", len(d.Alerts))
+	for _, a := range d.Alerts {
+		fmt.Println("  ALERT:", a)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

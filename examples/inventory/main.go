@@ -1,0 +1,168 @@
+// Command inventory demonstrates the remaining trigger machinery on a
+// warehouse scenario backed by the disk store (EOS analog):
+//
+//   - end (Deferred) coupling as a deferred constraint: many withdrawals
+//     in one transaction are checked once, just before commit — and a
+//     transaction that would drive stock negative is aborted wholesale;
+//   - an end trigger as a materialized side effect: dropping below the
+//     reorder point files a purchase order in the same transaction;
+//   - transaction events: an object interested in "before tcomplete"
+//     audits every transaction that touched it (§5.5);
+//   - clusters: the stock report iterates the "items" cluster (§2).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ode"
+)
+
+// Item is a stocked product.
+type Item struct {
+	SKU      string
+	OnHand   float64
+	Reorder  float64 // reorder point
+	Orders   []string
+	TxAudits int // transactions that touched this item
+}
+
+func itemClass() *ode.Class {
+	return ode.MustClass("Item",
+		ode.Factory(func() any { return new(Item) }),
+		ode.Method("Withdraw", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			it := self.(*Item)
+			it.OnHand -= args[0].(float64)
+			return it.OnHand, nil
+		}),
+		ode.Method("Restock", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			it := self.(*Item)
+			it.OnHand += args[0].(float64)
+			return it.OnHand, nil
+		}),
+		ode.Method("FileOrder", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			it := self.(*Item)
+			it.Orders = append(it.Orders, args[0].(string))
+			return nil, nil
+		}),
+		ode.Events("after Withdraw", "after Restock", "before tcomplete"),
+		ode.Mask("Negative", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return self.(*Item).OnHand < 0, nil
+		}),
+		ode.Mask("BelowReorder", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			it := self.(*Item)
+			return it.OnHand >= 0 && it.OnHand < it.Reorder, nil
+		}),
+		// Deferred constraint: evaluated once at commit, after all the
+		// transaction's withdrawals.
+		ode.Trigger("NoNegativeStock", "after Withdraw & Negative",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				ctx.TAbort()
+				return nil
+			},
+			ode.WithCoupling(ode.Deferred), ode.Perpetual()),
+		// Deferred side effect: reorder once per transaction that left
+		// the item low, inside the same (committing) transaction.
+		ode.Trigger("AutoReorder", "after Withdraw & BelowReorder",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				it := self.(*Item)
+				_, err := ctx.Invoke(ctx.Self(), "FileOrder",
+					fmt.Sprintf("PO: %s x %.0f", it.SKU, it.Reorder*2-it.OnHand))
+				return err
+			},
+			ode.WithCoupling(ode.Deferred), ode.Perpetual()),
+		// Transaction event: count committing transactions that touched
+		// this item.
+		ode.Trigger("AuditTouch", "before tcomplete",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				self.(*Item).TxAudits++
+				return nil
+			},
+			ode.Perpetual()),
+	)
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "ode-inventory-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := ode.OpenDisk(filepath.Join(dir, "warehouse.eos"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	must(db.Register(itemClass()))
+
+	// Stock the warehouse; every item joins the "items" cluster.
+	skus := []struct {
+		sku             string
+		onHand, reorder float64
+	}{
+		{"WIDGET", 100, 20},
+		{"GADGET", 30, 25},
+		{"SPROCKET", 500, 50},
+	}
+	refs := map[string]ode.Ref{}
+	tx := db.Begin()
+	for _, s := range skus {
+		ref, err := db.Create(tx, "Item", &Item{SKU: s.sku, OnHand: s.onHand, Reorder: s.reorder})
+		must(err)
+		must(db.ClusterAdd(tx, "items", ref))
+		for _, trig := range []string{"NoNegativeStock", "AutoReorder", "AuditTouch"} {
+			_, err = db.Activate(tx, ref, trig)
+			must(err)
+		}
+		refs[s.sku] = ref
+	}
+	must(tx.Commit())
+	fmt.Println("warehouse stocked; constraints and reorder triggers armed")
+
+	// A multi-line order in one transaction: checked once at commit.
+	fmt.Println("\norder #1: 90 WIDGET + 10 GADGET (allowed; leaves both low)")
+	tx = db.Begin()
+	_, err = db.Invoke(tx, refs["WIDGET"], "Withdraw", 90.0)
+	must(err)
+	_, err = db.Invoke(tx, refs["GADGET"], "Withdraw", 10.0)
+	must(err)
+	must(tx.Commit())
+
+	// An order that would oversell aborts entirely — including its valid
+	// lines (all-or-nothing).
+	fmt.Println("order #2: 400 SPROCKET + 900 WIDGET (oversells WIDGET; whole order rejected)")
+	tx = db.Begin()
+	_, err = db.Invoke(tx, refs["SPROCKET"], "Withdraw", 400.0)
+	must(err)
+	_, err = db.Invoke(tx, refs["WIDGET"], "Withdraw", 900.0)
+	must(err)
+	if err := tx.Commit(); !errors.Is(err, ode.ErrAborted) {
+		log.Fatalf("oversell committed: %v", err)
+	}
+
+	// Report via cluster scan.
+	fmt.Println("\nstock report (cluster scan):")
+	rtx := db.Begin()
+	defer rtx.Abort()
+	must(db.ClusterScan(rtx, "items", func(ref ode.Ref) error {
+		it, err := ode.Get[*Item](db, rtx, ref)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-9s on hand %5.0f  (reorder at %3.0f)  orders=%d  audited txns=%d\n",
+			it.SKU, it.OnHand, it.Reorder, len(it.Orders), it.TxAudits)
+		for _, o := range it.Orders {
+			fmt.Printf("            %s\n", o)
+		}
+		return nil
+	}))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Command quickstart reproduces the paper's §4 credit-card monitoring
+// example end to end: the CredCard class with its event declaration, the
+// perpetual DenyCredit trigger (mask + tabort) and the once-only
+// AutoRaiseLimit trigger (relative composite event), driven through the
+// exact scenario the paper narrates.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"ode"
+)
+
+// CredCard mirrors the paper's class:
+//
+//	persistent class CredCard {
+//	    float credLim, currBal;
+//	    ...
+//	    event after Buy, after PayBill, BigBuy;
+//	    trigger DenyCredit() : perpetual after Buy & (currBal>credLim)
+//	        ==> {BlackMark("Over Limit", today()); tabort;}
+//	    trigger AutoRaiseLimit(float amount) :
+//	        relative((after Buy & MoreCred()), after PayBill)
+//	        ==> RaiseLimit(amount);
+//	};
+type CredCard struct {
+	Holder     string
+	CredLim    float64
+	CurrBal    float64
+	GoodHist   bool
+	BlackMarks []string
+}
+
+func (c *CredCard) moreCred() bool { return c.CurrBal > 0.8*c.CredLim && c.GoodHist }
+
+func credCardClass() *ode.Class {
+	return ode.MustClass("CredCard",
+		ode.Factory(func() any { return new(CredCard) }),
+		ode.Method("Buy", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal += args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("PayBill", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal -= args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("RaiseLimit", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CredLim += args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("BlackMark", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.BlackMarks = append(c.BlackMarks, args[0].(string))
+			return nil, nil
+		}),
+		ode.ReadOnlyMethod("GoodCredHist", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			return self.(*CredCard).GoodHist, nil
+		}),
+		// event after Buy, after PayBill, BigBuy;
+		ode.Events("after Buy", "after PayBill", "BigBuy"),
+		ode.Mask("OverLimit", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			c := self.(*CredCard)
+			return c.CurrBal > c.CredLim, nil
+		}),
+		ode.Mask("MoreCred", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return self.(*CredCard).moreCred(), nil
+		}),
+		ode.Trigger("DenyCredit", "after Buy & OverLimit",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				if _, err := ctx.Invoke(ctx.Self(), "BlackMark", "Over Limit"); err != nil {
+					return err
+				}
+				ctx.TAbort() // the paper's tabort statement
+				return nil
+			},
+			ode.Perpetual()),
+		ode.Trigger("AutoRaiseLimit", "relative((after Buy & MoreCred()), after PayBill)",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "RaiseLimit", act.ArgFloat(0))
+				return err
+			}),
+	)
+}
+
+func main() {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(credCardClass()); err != nil {
+		log.Fatal(err)
+	}
+
+	// pnew CredCard + explicit trigger activations (§4.1):
+	//   credcard->DenyCredit();
+	//   TriggerId AutoRaise = credcard->AutoRaiseLimit(1000.0);
+	tx := db.Begin()
+	card, err := db.Create(tx, "CredCard", &CredCard{
+		Holder: "Narain", CredLim: 1000, GoodHist: true,
+	})
+	must(err)
+	_, err = db.Activate(tx, card, "DenyCredit")
+	must(err)
+	autoRaise, err := db.Activate(tx, card, "AutoRaiseLimit", 1000.0)
+	must(err)
+	must(tx.Commit())
+	fmt.Printf("created card for Narain: limit $1000, triggers active (AutoRaise=%v)\n", autoRaise)
+
+	show := func() {
+		tx := db.Begin()
+		defer tx.Abort()
+		c, err := ode.Get[*CredCard](db, tx, card)
+		must(err)
+		fmt.Printf("  state: balance $%.0f, limit $%.0f, marks %v\n",
+			c.CurrBal, c.CredLim, c.BlackMarks)
+	}
+
+	// 1. An ordinary purchase.
+	fmt.Println("\nBuy($400):")
+	must(invoke(db, card, "Buy", 400.0))
+	show()
+
+	// 2. A purchase that would exceed the limit: DenyCredit black-marks
+	// and taborts — the whole transaction (purchase included) rolls back.
+	fmt.Println("\nBuy($900) — would exceed the limit:")
+	err = invoke(db, card, "Buy", 900.0)
+	if errors.Is(err, ode.ErrAborted) {
+		fmt.Println("  transaction aborted by DenyCredit (purchase prevented)")
+	} else {
+		log.Fatalf("expected abort, got %v", err)
+	}
+	show()
+
+	// 3. Arm AutoRaiseLimit: a purchase that leaves the balance over 80%
+	// of the limit with a good history satisfies (after Buy & MoreCred()).
+	fmt.Println("\nBuy($500) — balance now over 80% of the limit:")
+	must(invoke(db, card, "Buy", 500.0))
+	show()
+
+	// 4. Noise events do not disturb the armed relative(...) pattern.
+	fmt.Println("\npost BigBuy (user-defined event, ignored by the armed pattern):")
+	tx2 := db.Begin()
+	must(db.PostUserEvent(tx2, card, "BigBuy"))
+	must(tx2.Commit())
+
+	// 5. Any future PayBill completes the composite event: the limit is
+	// raised by the activation argument ($1000) and the once-only
+	// trigger deactivates.
+	fmt.Println("\nPayBill($300) — completes relative(...), raises the limit:")
+	must(invoke(db, card, "PayBill", 300.0))
+	show()
+
+	tx3 := db.Begin()
+	active, err := db.ActiveTriggers(tx3, card)
+	must(err)
+	tx3.Commit()
+	fmt.Printf("\nactive triggers after firing: %d (AutoRaiseLimit was once-only, DenyCredit is perpetual)\n", len(active))
+	for _, a := range active {
+		fmt.Printf("  %s (state %d)\n", a.Trigger, a.StateNum)
+	}
+}
+
+func invoke(db *ode.Database, ref ode.Ref, method string, args ...any) error {
+	tx := db.Begin()
+	if _, err := db.Invoke(tx, ref, method, args...); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

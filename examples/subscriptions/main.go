@@ -1,0 +1,164 @@
+// Command subscriptions exercises the three §8 future-work extensions
+// this reproduction implements on top of the paper's core model:
+//
+//   - timed triggers: a virtual-clock Timers scheduler posts the declared
+//     user event "RenewalDue" every 30 days, driving renewal billing;
+//   - event attributes: the LargeCharge mask inspects the amount passed
+//     to the Charge member function (Activation.EventArgs) rather than
+//     ambient state;
+//   - local rules: a batch-import transaction activates a transaction-
+//     local budget constraint that costs no storage and no write locks,
+//     and vanishes when the transaction ends.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"ode"
+)
+
+// Subscription is a customer's recurring plan.
+type Subscription struct {
+	Customer string
+	Plan     string
+	Fee      float64
+	Paid     float64
+	Renewals int
+	Flags    []string
+}
+
+func subClass() *ode.Class {
+	return ode.MustClass("Subscription",
+		ode.Factory(func() any { return new(Subscription) }),
+		ode.Method("Charge", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			s := self.(*Subscription)
+			s.Paid += args[0].(float64)
+			return nil, nil
+		}),
+		ode.Method("Renew", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			s := self.(*Subscription)
+			s.Renewals++
+			return nil, nil
+		}),
+		ode.Events("after Charge", "after Renew", "RenewalDue"),
+		// §8 "attributes of events": the mask sees Charge's amount.
+		ode.Mask("LargeCharge", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return act.EventArgFloat(0) >= 100, nil
+		}),
+		ode.Mask("OverBudget", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			s := self.(*Subscription)
+			return s.Paid > act.ArgFloat(0), nil
+		}),
+		// Timed renewal: the timer's RenewalDue event charges the fee and
+		// bumps the renewal count.
+		ode.Trigger("OnRenewalDue", "RenewalDue",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				s := self.(*Subscription)
+				if _, err := ctx.Invoke(ctx.Self(), "Charge", s.Fee); err != nil {
+					return err
+				}
+				_, err := ctx.Invoke(ctx.Self(), "Renew")
+				return err
+			},
+			ode.Perpetual()),
+		// Large one-off charges get flagged for review.
+		ode.Trigger("FlagLargeCharge", "after Charge & LargeCharge",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				s := self.(*Subscription)
+				s.Flags = append(s.Flags, fmt.Sprintf("large charge $%.0f", act.EventArgFloat(0)))
+				return nil
+			},
+			ode.Perpetual()),
+		// Budget guard, used as a LOCAL rule inside batch imports only.
+		ode.Trigger("BudgetGuard", "after Charge & OverBudget",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				ctx.TAbort()
+				return nil
+			},
+			ode.Perpetual(), ode.WithCoupling(ode.Deferred)),
+	)
+}
+
+func main() {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	must(db.Register(subClass()))
+
+	tx := db.Begin()
+	sub, err := db.Create(tx, "Subscription", &Subscription{
+		Customer: "daniel", Plan: "pro", Fee: 29,
+	})
+	must(err)
+	_, err = db.Activate(tx, sub, "OnRenewalDue")
+	must(err)
+	_, err = db.Activate(tx, sub, "FlagLargeCharge")
+	must(err)
+	must(tx.Commit())
+
+	// --- timed triggers -----------------------------------------------------
+	timers := ode.NewTimers(db)
+	const month = 30 * 24 * time.Hour
+	if _, err := timers.Every(sub, "RenewalDue", month, month); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("subscription created: $29/month, renewal timer armed")
+
+	timers.AdvanceTo(3 * month) // a quarter passes
+	show := func() *Subscription {
+		tx := db.Begin()
+		defer tx.Abort()
+		s, err := ode.Get[*Subscription](db, tx, sub)
+		must(err)
+		fmt.Printf("  after %s: %d renewals, $%.0f paid, flags %v\n",
+			timers.Now(), s.Renewals, s.Paid, s.Flags)
+		return s
+	}
+	s := show()
+	if s.Renewals != 3 || s.Paid != 87 {
+		log.Fatalf("expected 3 renewals / $87, got %+v", s)
+	}
+
+	// --- event attributes ------------------------------------------------------
+	fmt.Println("\none-off upgrade charge of $199 (mask reads the Charge amount):")
+	tx = db.Begin()
+	_, err = db.Invoke(tx, sub, "Charge", 199.0)
+	must(err)
+	must(tx.Commit())
+	show()
+
+	// --- local rules -------------------------------------------------------------
+	fmt.Println("\nbatch import with a transaction-local $400 budget guard:")
+	tx = db.Begin()
+	if _, err := db.ActivateLocal(tx, sub, "BudgetGuard", 400.0); err != nil {
+		log.Fatal(err)
+	}
+	for _, amt := range []float64{50, 60, 80} { // would reach 286+190=476 > 400
+		_, err = db.Invoke(tx, sub, "Charge", amt)
+		must(err)
+	}
+	err = tx.Commit()
+	if errors.Is(err, ode.ErrAborted) {
+		fmt.Println("  batch rejected at commit: budget exceeded (deferred local constraint)")
+	} else {
+		log.Fatalf("budget guard did not fire: %v", err)
+	}
+	// The guard died with its transaction: normal charges work again.
+	tx = db.Begin()
+	_, err = db.Invoke(tx, sub, "Charge", 10.0)
+	must(err)
+	must(tx.Commit())
+	fmt.Println("  follow-up $10 charge commits fine (local rule gone with its txn)")
+	show()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

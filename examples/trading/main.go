@@ -1,0 +1,177 @@
+// Command trading is the program-trading scenario that motivates
+// composite-event triggers in the paper's introduction ("applications
+// such as program trading whose actions are triggered based on patterns
+// of event occurrences as opposed to single basic events") and §8's
+// future-work example:
+//
+//	"if AT&T goes below 60 and the price of gold stabilizes,
+//	 buy 1000 shares of AT&T"
+//
+// The paper notes Ode's triggers are intra-object (one anchor object);
+// the standard workaround — used here — anchors the rule at a Portfolio
+// object through which all ticks flow, so the multi-feed pattern becomes
+// an intra-object composite event:
+//
+//	relative((after Tick & TBelow60), after Tick & GoldStable)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ode"
+	"ode/internal/workload"
+)
+
+// Portfolio receives market ticks and holds positions.
+type Portfolio struct {
+	Prices     map[string][]float64 // recent price history per symbol
+	Cash       float64
+	Shares     map[string]float64
+	TradeLog   []string
+	WindowSize int
+}
+
+func (p *Portfolio) last(sym string) float64 {
+	h := p.Prices[sym]
+	if len(h) == 0 {
+		return 0
+	}
+	return h[len(h)-1]
+}
+
+// stable reports whether sym's recent window moved less than 1%.
+func (p *Portfolio) stable(sym string) bool {
+	h := p.Prices[sym]
+	if len(h) < p.WindowSize {
+		return false
+	}
+	w := h[len(h)-p.WindowSize:]
+	lo, hi := w[0], w[0]
+	for _, v := range w {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi/lo < 1.01
+}
+
+func portfolioClass() *ode.Class {
+	return ode.MustClass("Portfolio",
+		ode.Factory(func() any {
+			return &Portfolio{
+				Prices: map[string][]float64{}, Shares: map[string]float64{}, WindowSize: 5,
+			}
+		}),
+		ode.Method("Tick", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			p := self.(*Portfolio)
+			sym := args[0].(string)
+			price := args[1].(float64)
+			h := append(p.Prices[sym], price)
+			if len(h) > 32 {
+				h = h[len(h)-32:]
+			}
+			p.Prices[sym] = h
+			return nil, nil
+		}),
+		ode.Method("BuyShares", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			p := self.(*Portfolio)
+			sym := args[0].(string)
+			qty := args[1].(float64)
+			cost := qty * p.last(sym)
+			p.Cash -= cost
+			p.Shares[sym] += qty
+			p.TradeLog = append(p.TradeLog,
+				fmt.Sprintf("BUY %.0f %s @ %.2f", qty, sym, p.last(sym)))
+			return nil, nil
+		}),
+		ode.Events("after Tick", "after BuyShares"),
+		ode.Mask("TBelow60", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			p := self.(*Portfolio)
+			px := p.last("T")
+			return px > 0 && px < 60, nil
+		}),
+		ode.Mask("GoldStable", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return self.(*Portfolio).stable("GOLD"), nil
+		}),
+		// §8's rule: once AT&T dips below 60, wait for gold to stabilize,
+		// then buy 1000 shares.
+		ode.Trigger("BuyTheDip",
+			"relative((after Tick & TBelow60), after Tick & GoldStable)",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "BuyShares", "T", act.ArgFloat(0))
+				return err
+			}),
+	)
+}
+
+func main() {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(portfolioClass()); err != nil {
+		log.Fatal(err)
+	}
+
+	tx := db.Begin()
+	pf, err := db.Create(tx, "Portfolio", &Portfolio{
+		Prices: map[string][]float64{}, Shares: map[string]float64{},
+		Cash: 100_000, WindowSize: 5,
+	})
+	must(err)
+	_, err = db.Activate(tx, pf, "BuyTheDip", 1000.0)
+	must(err)
+	must(tx.Commit())
+	fmt.Println("portfolio created; rule armed: T < 60, then GOLD stable → buy 1000 T")
+
+	// Drive a synthetic feed: AT&T drifts down through 60 while gold is
+	// choppy, then gold settles.
+	ticks := workload.TickStream(7, 3000, []string{"T", "GOLD"}, 62, 0.01)
+	fired := -1
+	for i, tk := range ticks {
+		tx := db.Begin()
+		if _, err := db.Invoke(tx, pf, "Tick", tk.Symbol, tk.Price); err != nil {
+			tx.Abort()
+			log.Fatal(err)
+		}
+		must(tx.Commit())
+
+		if fired < 0 {
+			rtx := db.Begin()
+			p, err := ode.Get[*Portfolio](db, rtx, pf)
+			must(err)
+			done := len(p.TradeLog) > 0
+			rtx.Abort()
+			if done {
+				fired = i
+			}
+		}
+	}
+
+	rtx := db.Begin()
+	defer rtx.Abort()
+	p, err := ode.Get[*Portfolio](db, rtx, pf)
+	must(err)
+	if len(p.TradeLog) == 0 {
+		fmt.Println("rule never fired on this feed (no dip + stabilization); try another seed")
+		return
+	}
+	fmt.Printf("rule fired at tick %d: %s\n", fired, p.TradeLog[0])
+	fmt.Printf("position: %.0f shares of T, cash $%.2f\n", p.Shares["T"], p.Cash)
+	fmt.Printf("last prices: T=%.2f GOLD=%.2f\n", p.last("T"), p.last("GOLD"))
+	if len(p.TradeLog) != 1 {
+		log.Fatalf("once-only trigger fired %d times", len(p.TradeLog))
+	}
+	fmt.Println("trigger was once-only: exactly one trade despite later stability")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package ode_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ode"
+)
+
+// Meter is a utility meter whose readings drive timed billing — the
+// facade-level test of the §8 extensions.
+type Meter struct {
+	Readings []float64
+	Billed   float64
+}
+
+func meterClass() *ode.Class {
+	return ode.MustClass("Meter",
+		ode.Factory(func() any { return new(Meter) }),
+		ode.Method("Record", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			m := self.(*Meter)
+			m.Readings = append(m.Readings, args[0].(float64))
+			return nil, nil
+		}),
+		ode.Method("Bill", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			m := self.(*Meter)
+			total := 0.0
+			for _, r := range m.Readings {
+				total += r
+			}
+			m.Billed += total
+			m.Readings = nil
+			return total, nil
+		}),
+		ode.Events("after Record", "after Bill", "BillingDue"),
+		// Event attributes: the spike mask reads the recorded value.
+		ode.Mask("Spike", func(ctx *ode.Ctx, self any, act *ode.Activation) (bool, error) {
+			return act.EventArgFloat(0) > 1000, nil
+		}),
+		ode.Trigger("BillOnDue", "BillingDue",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "Bill")
+				return err
+			},
+			ode.Perpetual()),
+		ode.Trigger("RejectSpike", "after Record & Spike",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error {
+				ctx.TAbort()
+				return nil
+			},
+			ode.Perpetual()),
+	)
+}
+
+func TestTimersThroughFacade(t *testing.T) {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(meterClass()); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "Meter", &Meter{})
+	if _, err := db.Activate(tx, ref, "BillOnDue"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx2 := db.Begin()
+	if _, err := db.Invoke(tx2, ref, "Record", 42.0); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+
+	timers := ode.NewTimers(db)
+	if _, err := timers.Every(ref, "BillingDue", time.Hour, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	timers.AdvanceTo(2 * time.Hour)
+
+	tx3 := db.Begin()
+	defer tx3.Abort()
+	m, err := ode.Get[*Meter](db, tx3, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Billed != 42 || len(m.Readings) != 0 {
+		t.Fatalf("billing state: %+v", m)
+	}
+	if timers.Fired != 2 {
+		t.Fatalf("timer fired %d times, want 2", timers.Fired)
+	}
+}
+
+func TestEventArgsThroughFacade(t *testing.T) {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(meterClass()); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "Meter", &Meter{})
+	if _, err := db.Activate(tx, ref, "RejectSpike"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	// A normal reading commits; a spike is rejected by the mask reading
+	// the Record argument.
+	tx2 := db.Begin()
+	if _, err := db.Invoke(tx2, ref, "Record", 10.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := db.Begin()
+	if _, err := db.Invoke(tx3, ref, "Record", 5000.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Commit(); !errors.Is(err, ode.ErrAborted) {
+		t.Fatalf("spike commit = %v, want ErrAborted", err)
+	}
+
+	tx4 := db.Begin()
+	defer tx4.Abort()
+	m, _ := ode.Get[*Meter](db, tx4, ref)
+	if len(m.Readings) != 1 || m.Readings[0] != 10 {
+		t.Fatalf("readings = %v", m.Readings)
+	}
+}
+
+func TestLocalRulesThroughFacade(t *testing.T) {
+	db, err := ode.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Register(meterClass()); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "Meter", &Meter{})
+	tx.Commit()
+
+	// Activate the spike guard locally for one import only.
+	tx2 := db.Begin()
+	id, err := db.ActivateLocal(tx2, ref, "RejectSpike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IsNil() {
+		t.Fatal("nil local id")
+	}
+	if _, err := db.Invoke(tx2, ref, "Record", 5000.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ode.ErrAborted) {
+		t.Fatalf("local guard did not fire: %v", err)
+	}
+
+	// The next transaction has no guard: the spike goes through.
+	tx3 := db.Begin()
+	if _, err := db.Invoke(tx3, ref, "Record", 5000.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatalf("guard leaked across transactions: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package rescan is the naive composite-event detector used as the
+// baseline for design goal 2 ("detection of composite events should be
+// efficient"). Instead of compiling the event expression to a finite
+// state machine, it keeps the full event history and re-matches the
+// expression against every suffix on each posting — O(history) or worse
+// per event, versus the FSM's O(1) transitions. Experiment E5 measures
+// the gap as stream length and expression complexity grow.
+//
+// Semantics note: masks are evaluated at scan time against current state;
+// the FSM evaluates them at the moment the guarded sub-event completes.
+// The engines agree on mask-free expressions (verified by property test)
+// and on mask predicates that are stable over a transaction.
+package rescan
+
+import (
+	"ode/internal/event"
+	"ode/internal/eventexpr"
+)
+
+// MaskEval resolves a mask predicate by name during a scan.
+type MaskEval func(name string) (bool, error)
+
+// Detector re-matches an expression on every posting.
+type Detector struct {
+	expr     eventexpr.Expr
+	anchored bool
+	history  []event.ID
+	eval     MaskEval
+	resolve  func(*eventexpr.Name) (event.ID, error)
+	alphabet map[event.ID]bool
+}
+
+// New builds a detector. resolve maps expression event names to IDs (the
+// same resolver the FSM compiler uses); alphabet is the declared event
+// set — postings outside it are ignored, matching §5.4.3's ignore rule.
+func New(p *eventexpr.Parsed, resolve func(*eventexpr.Name) (event.ID, error),
+	alphabet []event.ID, eval MaskEval) (*Detector, error) {
+	if eval == nil {
+		eval = func(string) (bool, error) { return true, nil }
+	}
+	d := &Detector{
+		expr:     eventexpr.Desugar(p.Expr),
+		anchored: p.Anchored,
+		eval:     eval,
+		resolve:  resolve,
+		alphabet: make(map[event.ID]bool, len(alphabet)),
+	}
+	for _, id := range alphabet {
+		d.alphabet[id] = true
+	}
+	// Resolve eagerly so bad references fail at construction.
+	for _, n := range eventexpr.Names(p.Expr) {
+		id, err := resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		d.alphabet[id] = true
+	}
+	return d, nil
+}
+
+// Post appends one event and reports whether any match ends exactly at
+// it. Events outside the alphabet are ignored.
+func (d *Detector) Post(ev event.ID) (bool, error) {
+	if !d.alphabet[ev] {
+		return false, nil
+	}
+	d.history = append(d.history, ev)
+	n := len(d.history)
+	if d.anchored {
+		ends, err := d.matchPrefix(d.expr, d.history)
+		if err != nil {
+			return false, err
+		}
+		return contains(ends, n), nil
+	}
+	// Unanchored: a matching subsequence may start anywhere (§5.1.1's
+	// implicit *any prefix); it must end at the newest event.
+	for start := 0; start < n; start++ {
+		ends, err := d.matchPrefix(d.expr, d.history[start:])
+		if err != nil {
+			return false, err
+		}
+		if contains(ends, n-start) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Reset clears the history (a fresh activation).
+func (d *Detector) Reset() { d.history = nil }
+
+// HistoryLen reports the retained history length — the memory cost the
+// FSM approach avoids entirely.
+func (d *Detector) HistoryLen() int { return len(d.history) }
+
+func contains(ks []int, k int) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPrefix returns every k such that e matches s[:k] exactly.
+func (d *Detector) matchPrefix(e eventexpr.Expr, s []event.ID) ([]int, error) {
+	switch e := e.(type) {
+	case *eventexpr.Name:
+		id, err := d.resolve(e)
+		if err != nil {
+			return nil, err
+		}
+		if len(s) > 0 && s[0] == id {
+			return []int{1}, nil
+		}
+		return nil, nil
+	case *eventexpr.Any:
+		if len(s) > 0 {
+			return []int{1}, nil
+		}
+		return nil, nil
+	case *eventexpr.Seq:
+		lefts, err := d.matchPrefix(e.Left, s)
+		if err != nil {
+			return nil, err
+		}
+		var out []int
+		for _, k := range lefts {
+			rights, err := d.matchPrefix(e.Right, s[k:])
+			if err != nil {
+				return nil, err
+			}
+			for _, k2 := range rights {
+				out = addUnique(out, k+k2)
+			}
+		}
+		return out, nil
+	case *eventexpr.Or:
+		a, err := d.matchPrefix(e.Left, s)
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.matchPrefix(e.Right, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range b {
+			a = addUnique(a, k)
+		}
+		return a, nil
+	case *eventexpr.Star:
+		out := []int{0}
+		frontier := []int{0}
+		for len(frontier) > 0 {
+			var next []int
+			for _, f := range frontier {
+				ks, err := d.matchPrefix(e.Sub, s[f:])
+				if err != nil {
+					return nil, err
+				}
+				for _, k := range ks {
+					if k == 0 {
+						continue // ignore empty iterations
+					}
+					if !contains(out, f+k) {
+						out = append(out, f+k)
+						next = append(next, f+k)
+					}
+				}
+			}
+			frontier = next
+		}
+		return out, nil
+	case *eventexpr.Mask:
+		ks, err := d.matchPrefix(e.Sub, s)
+		if err != nil {
+			return nil, err
+		}
+		if len(ks) == 0 {
+			return nil, nil
+		}
+		ok, err := d.eval(e.Name)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return ks, nil
+	default:
+		// Relative was desugared away.
+		return nil, nil
+	}
+}
+
+func addUnique(xs []int, k int) []int {
+	if contains(xs, k) {
+		return xs
+	}
+	return append(xs, k)
+}

@@ -1,0 +1,205 @@
+package rescan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ode/internal/event"
+	"ode/internal/eventexpr"
+	"ode/internal/fsm"
+)
+
+type env struct {
+	reg   *event.Registry
+	ids   map[string]event.ID
+	alpha []event.ID
+}
+
+func newEnv(names ...string) *env {
+	e := &env{reg: event.NewRegistry(), ids: map[string]event.ID{}}
+	for _, n := range names {
+		id := e.reg.Register("T", event.User(n))
+		e.ids[n] = id
+		e.alpha = append(e.alpha, id)
+	}
+	return e
+}
+
+func (e *env) resolve(n *eventexpr.Name) (event.ID, error) {
+	id, ok := e.ids[n.String()]
+	if !ok {
+		return event.None, fmt.Errorf("event %q not declared", n.String())
+	}
+	return id, nil
+}
+
+func (e *env) detector(t *testing.T, src string) *Detector {
+	t.Helper()
+	d, err := New(eventexpr.MustParse(src), e.resolve, e.alpha, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func (e *env) run(t *testing.T, d *Detector, events ...string) []int {
+	t.Helper()
+	var fired []int
+	for i, name := range events {
+		ok, err := d.Post(e.ids[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			fired = append(fired, i)
+		}
+	}
+	return fired
+}
+
+func TestSequenceDetection(t *testing.T) {
+	e := newEnv("A", "B", "C")
+	d := e.detector(t, "A, B")
+	fired := e.run(t, d, "C", "A", "B", "B", "A", "B")
+	if fmt.Sprint(fired) != "[2 5]" {
+		t.Fatalf("fired %v, want [2 5]", fired)
+	}
+}
+
+func TestAnchored(t *testing.T) {
+	e := newEnv("A", "B")
+	d := e.detector(t, "^A, B")
+	if fired := e.run(t, d, "A", "B"); fmt.Sprint(fired) != "[1]" {
+		t.Fatalf("fired %v", fired)
+	}
+	d.Reset()
+	if fired := e.run(t, d, "B", "A", "B"); len(fired) != 0 {
+		t.Fatalf("anchored leading noise fired %v", fired)
+	}
+}
+
+func TestUnknownEventsIgnored(t *testing.T) {
+	e := newEnv("A", "B")
+	foreign := e.reg.Register("Other", event.User("X"))
+	d := e.detector(t, "A, B")
+	if ok, _ := d.Post(e.ids["A"]); ok {
+		t.Fatal("premature fire")
+	}
+	if ok, _ := d.Post(foreign); ok {
+		t.Fatal("foreign event fired")
+	}
+	if ok, _ := d.Post(e.ids["B"]); !ok {
+		t.Fatal("adjacency broken by ignored event")
+	}
+	if d.HistoryLen() != 2 {
+		t.Fatalf("history retained ignored event: %d", d.HistoryLen())
+	}
+}
+
+func TestMaskGate(t *testing.T) {
+	e := newEnv("A")
+	val := false
+	d, err := New(eventexpr.MustParse("A & m"), e.resolve, e.alpha,
+		func(string) (bool, error) { return val, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.Post(e.ids["A"]); ok {
+		t.Fatal("fired with mask false")
+	}
+	val = true
+	if ok, _ := d.Post(e.ids["A"]); !ok {
+		t.Fatal("did not fire with mask true")
+	}
+}
+
+func TestRelativeDesugared(t *testing.T) {
+	e := newEnv("A", "B", "C")
+	d := e.detector(t, "relative(A, B)")
+	fired := e.run(t, d, "A", "C", "C", "B")
+	if fmt.Sprint(fired) != "[3]" {
+		t.Fatalf("fired %v", fired)
+	}
+}
+
+func TestHistoryGrowth(t *testing.T) {
+	e := newEnv("A", "B")
+	d := e.detector(t, "A, B")
+	for i := 0; i < 100; i++ {
+		d.Post(e.ids["A"])
+	}
+	if d.HistoryLen() != 100 {
+		t.Fatalf("history = %d", d.HistoryLen())
+	}
+	d.Reset()
+	if d.HistoryLen() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestBadExpressionRejected(t *testing.T) {
+	e := newEnv("A")
+	if _, err := New(eventexpr.MustParse("Undeclared"), e.resolve, e.alpha, nil); err == nil {
+		t.Fatal("undeclared event accepted")
+	}
+}
+
+// TestEquivalenceWithFSM is the cross-detector property: on mask-free
+// expressions, the naive rescan and the compiled FSM agree on every
+// posting. This is the correctness anchor for the E5 performance claim.
+func TestEquivalenceWithFSM(t *testing.T) {
+	sources := []string{
+		"A",
+		"A, B",
+		"A || B",
+		"*A, B",
+		"A, *B, C",
+		"(A || B), C",
+		"relative(A, B)",
+		"relative(A, B, C)",
+		"^A, B",
+		"^*A, B",
+		"*(A, B), C",
+		"(A, B) || (B, C)",
+		"A, any, B",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := newEnv("A", "B", "C")
+		src := sources[r.Intn(len(sources))]
+		parsed := eventexpr.MustParse(src)
+
+		d, err := New(parsed, e.resolve, e.alpha, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := fsm.Compile(parsed, fsm.Options{Resolve: e.resolve, Alphabet: e.alpha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := m.Start
+		names := []string{"A", "B", "C"}
+		for i := 0; i < 30; i++ {
+			ev := e.ids[names[r.Intn(len(names))]]
+			rOK, err := d.Post(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, fOK, err := m.Advance(state, ev, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			state = next
+			if rOK != fOK {
+				t.Logf("%q step %d: rescan=%v fsm=%v", src, i, rOK, fOK)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

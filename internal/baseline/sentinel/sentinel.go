@@ -1,0 +1,143 @@
+// Package sentinel reimplements the event machinery of the Sentinel
+// active OODBMS as published (Chakravarthy et al., ICDE 1995) to serve as
+// the paper's §7 comparison baseline. Two properties matter:
+//
+//  1. Event representation: Sentinel identifies a basic event by a
+//     *triple of strings* — the class name, the member-function
+//     prototype, and "begin"/"end" — where Ode maps each event to a
+//     globally unique small integer. The paper argues Ode's integers give
+//     "significantly lower event posting overhead"; experiment E2
+//     measures exactly this representation gap.
+//
+//  2. Locality: Sentinel supports only *local* composite events — all
+//     constituent events must occur within a single application, because
+//     its detector state lives in transient program memory. Ode's
+//     TriggerStates are persistent, making composite events *global*.
+//     Experiment E14 contrasts the two: a Detector here is deliberately
+//     process-transient and cannot survive a restart.
+package sentinel
+
+import (
+	"sync"
+
+	"ode/internal/event"
+	"ode/internal/fsm"
+)
+
+// EventTriple is Sentinel's event identity: (class name, member-function
+// prototype, "begin" | "end").
+type EventTriple struct {
+	Class     string
+	Prototype string
+	Modifier  string // "begin" (before) or "end" (after)
+}
+
+// Registry maps string triples to subscriber lists. Lookup cost is the
+// point of comparison: hashing three strings versus indexing by one small
+// integer.
+type Registry struct {
+	mu   sync.RWMutex
+	subs map[EventTriple][]func(EventTriple)
+}
+
+// NewRegistry returns an empty Sentinel-style registry.
+func NewRegistry() *Registry {
+	return &Registry{subs: make(map[EventTriple][]func(EventTriple))}
+}
+
+// Subscribe registers a callback for a triple.
+func (r *Registry) Subscribe(t EventTriple, fn func(EventTriple)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs[t] = append(r.subs[t], fn)
+}
+
+// Post looks up the triple and invokes its subscribers — the per-event
+// work a Sentinel wrapper performs. It returns the subscriber count so
+// benchmarks observe the lookup.
+func (r *Registry) Post(t EventTriple) int {
+	r.mu.RLock()
+	subs := r.subs[t]
+	r.mu.RUnlock()
+	for _, fn := range subs {
+		fn(t)
+	}
+	return len(subs)
+}
+
+// IntRegistry is the Ode-style counterpart used by E2: the same
+// subscribe/post surface keyed by event.ID, so the measured difference is
+// purely the representation.
+type IntRegistry struct {
+	mu   sync.RWMutex
+	subs [][]func(event.ID)
+}
+
+// NewIntRegistry returns an integer-keyed registry sized for n events.
+func NewIntRegistry(n int) *IntRegistry {
+	return &IntRegistry{subs: make([][]func(event.ID), n)}
+}
+
+// Subscribe registers a callback for an event ID.
+func (r *IntRegistry) Subscribe(id event.ID, fn func(event.ID)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for int(id) >= len(r.subs) {
+		r.subs = append(r.subs, nil)
+	}
+	r.subs[id] = append(r.subs[id], fn)
+}
+
+// Post dispatches by integer index.
+func (r *IntRegistry) Post(id event.ID) int {
+	r.mu.RLock()
+	var subs []func(event.ID)
+	if int(id) < len(r.subs) {
+		subs = r.subs[id]
+	}
+	r.mu.RUnlock()
+	for _, fn := range subs {
+		fn(id)
+	}
+	return len(subs)
+}
+
+// Detector is a Sentinel-style local composite-event detector: it drives
+// the same compiled FSM the Ode engine uses, but keeps the machine state
+// in program memory. Restarting the "application" (creating a new
+// Detector) loses all partial matches — the locality limitation §7
+// describes.
+type Detector struct {
+	machine *fsm.Machine
+	state   int32
+	fired   int
+	eval    fsm.MaskEval
+}
+
+// NewDetector starts a transient detector for one compiled machine.
+func NewDetector(m *fsm.Machine, eval fsm.MaskEval) *Detector {
+	if eval == nil {
+		eval = func(string) (bool, error) { return true, nil }
+	}
+	return &Detector{machine: m, state: m.Start, eval: eval}
+}
+
+// Post feeds one event; it reports whether the composite event completed.
+func (d *Detector) Post(ev event.ID) (bool, error) {
+	next, accepted, err := d.machine.Advance(d.state, ev, d.eval)
+	if err != nil {
+		return false, err
+	}
+	d.state = next
+	if accepted {
+		d.fired++
+		d.state = d.machine.Start
+	}
+	return accepted, nil
+}
+
+// Fired reports completed detections since construction.
+func (d *Detector) Fired() int { return d.fired }
+
+// State exposes the transient FSM state (tests).
+func (d *Detector) State() int32 { return d.state }

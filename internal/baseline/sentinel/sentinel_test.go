@@ -1,0 +1,133 @@
+package sentinel
+
+import (
+	"fmt"
+	"testing"
+
+	"ode/internal/event"
+	"ode/internal/eventexpr"
+	"ode/internal/fsm"
+)
+
+func TestTripleRegistryDispatch(t *testing.T) {
+	r := NewRegistry()
+	var got []EventTriple
+	tr := EventTriple{"CredCard", "void Buy(Merchant*, float)", "end"}
+	r.Subscribe(tr, func(t EventTriple) { got = append(got, t) })
+	if n := r.Post(tr); n != 1 {
+		t.Fatalf("Post = %d subscribers", n)
+	}
+	if len(got) != 1 || got[0] != tr {
+		t.Fatalf("delivered %v", got)
+	}
+	// A different prototype is a different event.
+	other := EventTriple{"CredCard", "void Buy(float)", "end"}
+	if n := r.Post(other); n != 0 {
+		t.Fatalf("overloaded prototype matched: %d", n)
+	}
+}
+
+func TestIntRegistryDispatch(t *testing.T) {
+	r := NewIntRegistry(8)
+	hits := 0
+	r.Subscribe(5, func(event.ID) { hits++ })
+	if n := r.Post(5); n != 1 || hits != 1 {
+		t.Fatalf("post: n=%d hits=%d", n, hits)
+	}
+	if n := r.Post(6); n != 0 {
+		t.Fatalf("unsubscribed event dispatched: %d", n)
+	}
+	// Auto-grow on subscribe past capacity.
+	r.Subscribe(100, func(event.ID) {})
+	if n := r.Post(100); n != 1 {
+		t.Fatal("grown registry lost subscriber")
+	}
+	// Post of an ID beyond capacity is a no-op, not a panic.
+	if n := r.Post(10000); n != 0 {
+		t.Fatal("out-of-range post dispatched")
+	}
+}
+
+func compile(t *testing.T, src string) (*fsm.Machine, map[string]event.ID) {
+	t.Helper()
+	reg := event.NewRegistry()
+	ids := map[string]event.ID{}
+	var alpha []event.ID
+	for _, n := range []string{"A", "B"} {
+		id := reg.Register("T", event.User(n))
+		ids[n] = id
+		alpha = append(alpha, id)
+	}
+	m, err := fsm.Compile(eventexpr.MustParse(src), fsm.Options{
+		Resolve: func(n *eventexpr.Name) (event.ID, error) {
+			id, ok := ids[n.String()]
+			if !ok {
+				return event.None, fmt.Errorf("unknown %q", n.String())
+			}
+			return id, nil
+		},
+		Alphabet: alpha,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ids
+}
+
+func TestDetectorLocalDetection(t *testing.T) {
+	m, ids := compile(t, "A, B")
+	d := NewDetector(m, nil)
+	for _, step := range []struct {
+		ev   string
+		want bool
+	}{
+		{"A", false}, {"B", true}, {"B", false}, {"A", false}, {"B", true},
+	} {
+		got, err := d.Post(ids[step.ev])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != step.want {
+			t.Fatalf("post %s: fired=%v want %v", step.ev, got, step.want)
+		}
+	}
+	if d.Fired() != 2 {
+		t.Fatalf("fired = %d", d.Fired())
+	}
+}
+
+func TestDetectorIsTransient(t *testing.T) {
+	// §7: Sentinel's detector state lives in program memory. Arming the
+	// pattern, "restarting the application" (a fresh Detector), and
+	// completing the pattern must NOT fire — unlike Ode's persistent
+	// TriggerStates (see core's TestGlobalCompositeAcrossProcesses).
+	m, ids := compile(t, "A, B")
+	d1 := NewDetector(m, nil)
+	if _, err := d1.Post(ids["A"]); err != nil { // armed
+		t.Fatal(err)
+	}
+	if d1.State() == m.Start {
+		t.Fatal("detector did not arm")
+	}
+	d2 := NewDetector(m, nil) // "application restart"
+	fired, err := d2.Post(ids["B"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("transient detector fired across restart — that would be a global event")
+	}
+}
+
+func TestDetectorMask(t *testing.T) {
+	m, ids := compile(t, "A & m") // mask name irrelevant; eval decides
+	val := false
+	d := NewDetector(m, func(string) (bool, error) { return val, nil })
+	if fired, _ := d.Post(ids["A"]); fired {
+		t.Fatal("fired with mask false")
+	}
+	val = true
+	if fired, _ := d.Post(ids["A"]); !fired {
+		t.Fatal("did not fire with mask true")
+	}
+}

@@ -1,0 +1,485 @@
+// Package core implements the Ode trigger system: the paper's primary
+// contribution. It ties the substrates together — event registry, event
+// expression compiler, extended FSMs, lock/transaction/object managers —
+// into the run-time described in §5: class type descriptors carrying
+// TriggerInfo arrays, persistent TriggerStates found through the
+// object→trigger index, the PostEvent algorithm, and the four ECA coupling
+// modes with their transaction hooks.
+//
+// This file is the class-definition DSL: the Go analog of an O++ class
+// declaration. Where the paper's O++ compiler generates wrapper functions
+// and type descriptors from
+//
+//	persistent class CredCard {
+//	    ...
+//	    event after Buy, after PayBill, BigBuy;
+//	    trigger DenyCredit() : perpetual after Buy & (currBal>credLim)
+//	        ==> {BlackMark("Over Limit", today()); tabort;}
+//	};
+//
+// this reproduction registers the same information at run time:
+//
+//	cls, err := core.NewClass("CredCard",
+//	    core.Factory(func() any { return new(CredCard) }),
+//	    core.Method("Buy", buy),
+//	    core.Method("PayBill", payBill),
+//	    core.Events("after Buy", "after PayBill", "BigBuy"),
+//	    core.Mask("OverLimit", overLimit),
+//	    core.Trigger("DenyCredit", "after Buy & OverLimit", denyCredit,
+//	        core.Perpetual()),
+//	)
+//
+// The observable contract matches §5.3: invoking a method through a
+// persistent reference (Database.Invoke) posts the declared before/after
+// events; calling the Go method directly on a volatile value involves no
+// trigger machinery at all.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ode/internal/event"
+	"ode/internal/eventexpr"
+)
+
+// Coupling is an ECA coupling mode (§4.2).
+type Coupling uint8
+
+const (
+	// Immediate triggers fire as soon as their composite event is
+	// detected, inside the detecting transaction.
+	Immediate Coupling = iota
+	// Deferred ("end") triggers fire in the detecting transaction right
+	// before it attempts to commit.
+	Deferred
+	// Dependent triggers fire in a separate transaction that may commit
+	// only if the detecting transaction commits.
+	Dependent
+	// Independent ("!dependent") triggers fire in a separate transaction
+	// with no commit dependency: it runs even if the detecting
+	// transaction aborts.
+	Independent
+)
+
+func (c Coupling) String() string {
+	switch c {
+	case Immediate:
+		return "immediate"
+	case Deferred:
+		return "end"
+	case Dependent:
+		return "dependent"
+	case Independent:
+		return "!dependent"
+	default:
+		return fmt.Sprintf("Coupling(%d)", uint8(c))
+	}
+}
+
+// MethodFunc is the body of a member function. self is the decoded object
+// (the concrete type produced by the class factory); mutations to self are
+// written back when the method returns without error (unless the method
+// was registered read-only).
+type MethodFunc func(ctx *Ctx, self any, args []any) (any, error)
+
+// MaskFunc evaluates a trigger mask (§5.1.2) — the analog of the
+// compiler-generated static member functions like Pred1AutoRaiseLimit
+// (§5.4.2). It must be a pure predicate over the object and the trigger's
+// activation arguments.
+type MaskFunc func(ctx *Ctx, self any, act *Activation) (bool, error)
+
+// ActionFunc is a trigger action — the analog of the generated
+// AutoRaiseLimitTriggerFunc (§5.4.2). Actions may invoke methods, post
+// user events, and request transaction abort (ctx.TAbort, the tabort
+// statement).
+type ActionFunc func(ctx *Ctx, self any, act *Activation) error
+
+// MethodDef describes one member function.
+type MethodDef struct {
+	Name     string
+	Fn       MethodFunc
+	ReadOnly bool
+	// owner is the class that defined (or last overrode) the method.
+	owner *Class
+}
+
+// eventDecl is a declared event together with its declaring class; the
+// declaring class determines the event's run-time identity, so an
+// inherited event shares its ID with the base class (§5.2, §6).
+type eventDecl struct {
+	decl  event.Decl
+	owner *Class
+}
+
+// key returns the expression-language spelling used for lookup
+// ("after Buy", "BigBuy", "before tcomplete").
+func (e eventDecl) key() string {
+	switch e.decl.Kind {
+	case event.KindBefore:
+		return "before " + e.decl.Name
+	case event.KindAfter:
+		return "after " + e.decl.Name
+	case event.KindTxn:
+		return "before " + e.decl.Name
+	default:
+		return e.decl.Name
+	}
+}
+
+// TriggerDef describes one trigger of a class.
+type TriggerDef struct {
+	Name      string
+	Expr      string
+	Action    ActionFunc
+	Perpetual bool
+	Coupling  Coupling
+
+	parsed *eventexpr.Parsed
+	// num is the trigger's index within its defining class — the
+	// paper's triggernum (§5.4.1).
+	num   int
+	owner *Class
+}
+
+// Class is a fully resolved class definition (inheritance flattened). It
+// is immutable after NewClass and may be registered with any number of
+// databases.
+type Class struct {
+	name    string
+	parents []*Class
+	factory func() any
+
+	methods  map[string]*MethodDef
+	events   []eventDecl
+	eventKey map[string]eventDecl
+	masks    map[string]MaskFunc
+	// ownTriggers are the triggers defined by this class, in declaration
+	// order (their index is the persistent triggernum).
+	ownTriggers []*TriggerDef
+	// triggersByName includes inherited triggers (activation by name).
+	triggersByName map[string]*TriggerDef
+	// txnInterest is set when the class declares a transaction event.
+	txnInterest bool
+	// ancestors holds every class name in the inheritance closure,
+	// including this class.
+	ancestors map[string]bool
+}
+
+// Name returns the class name.
+func (c *Class) Name() string { return c.name }
+
+// NewInstance returns a fresh value from the class factory (the concrete
+// type stored objects decode into).
+func (c *Class) NewInstance() any { return c.factory() }
+
+// HasTxnInterest reports whether the class declared a transaction event.
+func (c *Class) HasTxnInterest() bool { return c.txnInterest }
+
+// Triggers returns the names of all activatable triggers (own and
+// inherited), in defining-class order then declaration order.
+func (c *Class) Triggers() []string {
+	var out []string
+	var walk func(cl *Class)
+	seen := map[string]bool{}
+	walk = func(cl *Class) {
+		for _, p := range cl.parents {
+			walk(p)
+		}
+		for _, t := range cl.ownTriggers {
+			if !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	walk(c)
+	return out
+}
+
+// EventKeys returns the declared event spellings ("after Buy", …).
+func (c *Class) EventKeys() []string {
+	out := make([]string, len(c.events))
+	for i, e := range c.events {
+		out[i] = e.key()
+	}
+	return out
+}
+
+// IsSubclassOf reports whether c is other or derives from it.
+func (c *Class) IsSubclassOf(other *Class) bool { return c.ancestors[other.name] }
+
+// Option configures NewClass.
+type Option func(*classBuilder)
+
+type classBuilder struct {
+	factory  func() any
+	parents  []*Class
+	methods  []*MethodDef
+	events   []string
+	masks    map[string]MaskFunc
+	triggers []*TriggerDef
+	errs     []string
+}
+
+// Factory sets the constructor for the class's Go representation. It is
+// required: decoding a stored object needs a concrete value to fill.
+func Factory(fn func() any) Option {
+	return func(b *classBuilder) { b.factory = fn }
+}
+
+// Extends declares base classes (single or multiple inheritance, §2).
+// Methods, events, masks, and triggers are inherited; a name defined by
+// two parents must be overridden locally.
+func Extends(parents ...*Class) Option {
+	return func(b *classBuilder) { b.parents = append(b.parents, parents...) }
+}
+
+// Method declares a member function that may mutate the object.
+func Method(name string, fn MethodFunc) Option {
+	return func(b *classBuilder) {
+		b.methods = append(b.methods, &MethodDef{Name: name, Fn: fn})
+	}
+}
+
+// ReadOnlyMethod declares a const member function: it takes only a shared
+// lock and skips the write-back.
+func ReadOnlyMethod(name string, fn MethodFunc) Option {
+	return func(b *classBuilder) {
+		b.methods = append(b.methods, &MethodDef{Name: name, Fn: fn, ReadOnly: true})
+	}
+}
+
+// Events is the O++ event declaration: each string is "before M",
+// "after M" (member-function events), a bare identifier (a user-defined
+// event), or "before tcomplete" / "before tabort" (transaction events,
+// which also mark the class as interested in transaction events, §5.5).
+// Only declared events are ever posted to objects of the class (§4).
+func Events(decls ...string) Option {
+	return func(b *classBuilder) { b.events = append(b.events, decls...) }
+}
+
+// Mask registers a named mask predicate usable in trigger expressions.
+func Mask(name string, fn MaskFunc) Option {
+	return func(b *classBuilder) {
+		if b.masks == nil {
+			b.masks = make(map[string]MaskFunc)
+		}
+		if _, dup := b.masks[name]; dup {
+			b.errs = append(b.errs, fmt.Sprintf("mask %q declared twice", name))
+		}
+		b.masks[name] = fn
+	}
+}
+
+// TriggerOption configures one trigger.
+type TriggerOption func(*TriggerDef)
+
+// Perpetual marks the trigger as remaining in force after it fires (§4);
+// without it a trigger is deactivated after firing once.
+func Perpetual() TriggerOption {
+	return func(t *TriggerDef) { t.Perpetual = true }
+}
+
+// WithCoupling selects the trigger's coupling mode (default Immediate).
+func WithCoupling(c Coupling) TriggerOption {
+	return func(t *TriggerDef) { t.Coupling = c }
+}
+
+// Trigger declares a trigger: a named event-expression/action pair.
+func Trigger(name, expr string, action ActionFunc, opts ...TriggerOption) Option {
+	return func(b *classBuilder) {
+		t := &TriggerDef{Name: name, Expr: expr, Action: action, Coupling: Immediate}
+		for _, o := range opts {
+			o(t)
+		}
+		b.triggers = append(b.triggers, t)
+	}
+}
+
+// parseEventDecl turns a declaration string into an event.Decl.
+func parseEventDecl(s string) (event.Decl, error) {
+	fields := strings.Fields(s)
+	switch len(fields) {
+	case 1:
+		if fields[0] == "before" || fields[0] == "after" || fields[0] == "any" {
+			return event.Decl{}, fmt.Errorf("event declaration %q: missing name", s)
+		}
+		return event.User(fields[0]), nil
+	case 2:
+		name := fields[1]
+		isTxn := name == "tcomplete" || name == "tabort"
+		switch fields[0] {
+		case "before":
+			if isTxn {
+				return event.Txn(name), nil
+			}
+			return event.Before(name), nil
+		case "after":
+			if isTxn {
+				return event.Decl{}, fmt.Errorf("event declaration %q: after-transaction events were dropped from the design (§6)", s)
+			}
+			return event.After(name), nil
+		}
+	}
+	return event.Decl{}, fmt.Errorf("event declaration %q: want \"before M\", \"after M\", or a user event name", s)
+}
+
+// NewClass builds and validates a class definition.
+func NewClass(name string, opts ...Option) (*Class, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: class name must not be empty")
+	}
+	b := &classBuilder{}
+	for _, o := range opts {
+		o(b)
+	}
+	c := &Class{
+		name:           name,
+		parents:        b.parents,
+		factory:        b.factory,
+		methods:        make(map[string]*MethodDef),
+		eventKey:       make(map[string]eventDecl),
+		masks:          make(map[string]MaskFunc),
+		triggersByName: make(map[string]*TriggerDef),
+		ancestors:      map[string]bool{name: true},
+	}
+	var errs []string
+	errs = append(errs, b.errs...)
+
+	// Inherit from parents; same-name definitions from two different
+	// parents conflict unless overridden locally.
+	localMethods := map[string]bool{}
+	for _, md := range b.methods {
+		if localMethods[md.Name] {
+			errs = append(errs, fmt.Sprintf("method %q declared twice", md.Name))
+		}
+		localMethods[md.Name] = true
+	}
+	localMasks := b.masks
+	for _, p := range b.parents {
+		if p == nil {
+			errs = append(errs, "nil parent class")
+			continue
+		}
+		for a := range p.ancestors {
+			c.ancestors[a] = true
+		}
+		for mname, md := range p.methods {
+			if prev, ok := c.methods[mname]; ok && prev.owner != md.owner && !localMethods[mname] {
+				errs = append(errs, fmt.Sprintf("method %q inherited ambiguously from %s and %s; override it locally", mname, prev.owner.name, md.owner.name))
+			}
+			c.methods[mname] = md
+		}
+		for _, e := range p.events {
+			if _, ok := c.eventKey[e.key()]; !ok {
+				c.events = append(c.events, e)
+				c.eventKey[e.key()] = e
+			}
+			if e.decl.Kind == event.KindTxn {
+				c.txnInterest = true
+			}
+		}
+		for mn, mf := range p.masks {
+			if _, ok := c.masks[mn]; ok && localMasks[mn] == nil {
+				// Same mask name from two parents: require local override.
+				errs = append(errs, fmt.Sprintf("mask %q inherited ambiguously; override it locally", mn))
+			}
+			c.masks[mn] = mf
+		}
+		for tn, td := range p.triggersByName {
+			if prev, ok := c.triggersByName[tn]; ok && prev != td {
+				errs = append(errs, fmt.Sprintf("trigger %q inherited ambiguously from %s and %s", tn, prev.owner.name, td.owner.name))
+			}
+			c.triggersByName[tn] = td
+		}
+	}
+
+	// Local definitions override inherited ones.
+	for _, md := range b.methods {
+		md.owner = c
+		c.methods[md.Name] = md
+	}
+	for mn, mf := range b.masks {
+		c.masks[mn] = mf
+	}
+	for _, s := range b.events {
+		d, err := parseEventDecl(s)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		ed := eventDecl{decl: d, owner: c}
+		if d.Kind == event.KindTxn {
+			c.txnInterest = true
+			ed.owner = nil // transaction events are class-independent
+		}
+		if _, dup := c.eventKey[ed.key()]; dup {
+			errs = append(errs, fmt.Sprintf("event %q declared twice", ed.key()))
+			continue
+		}
+		c.events = append(c.events, ed)
+		c.eventKey[ed.key()] = ed
+	}
+
+	// Member-function events must name declared methods.
+	for _, e := range c.events {
+		if e.decl.Kind == event.KindBefore || e.decl.Kind == event.KindAfter {
+			if _, ok := c.methods[e.decl.Name]; !ok {
+				errs = append(errs, fmt.Sprintf("event %q names unknown method %q", e.key(), e.decl.Name))
+			}
+		}
+	}
+
+	// Local triggers: parse and validate expressions.
+	for i, td := range b.triggers {
+		td.owner = c
+		td.num = i
+		if td.Action == nil {
+			errs = append(errs, fmt.Sprintf("trigger %q has no action", td.Name))
+		}
+		if prev, ok := c.triggersByName[td.Name]; ok && prev.owner == c {
+			errs = append(errs, fmt.Sprintf("trigger %q declared twice", td.Name))
+		}
+		parsed, err := eventexpr.Parse(td.Expr)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("trigger %q: %v", td.Name, err))
+			continue
+		}
+		td.parsed = parsed
+		for _, n := range eventexpr.Names(parsed.Expr) {
+			key := n.String()
+			if _, ok := c.eventKey[key]; !ok {
+				errs = append(errs, fmt.Sprintf("trigger %q references undeclared event %q (all events of interest must be declared, §4)", td.Name, key))
+			}
+		}
+		for _, mn := range eventexpr.MaskNames(parsed.Expr) {
+			if _, ok := c.masks[mn]; !ok {
+				errs = append(errs, fmt.Sprintf("trigger %q references unknown mask %q", td.Name, mn))
+			}
+		}
+		c.ownTriggers = append(c.ownTriggers, td)
+		c.triggersByName[td.Name] = td
+	}
+
+	if c.factory == nil {
+		errs = append(errs, "class has no Factory")
+	} else if c.factory() == nil {
+		errs = append(errs, "Factory returned nil")
+	}
+
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("core: class %s: %s", name, strings.Join(errs, "; "))
+	}
+	return c, nil
+}
+
+// MustClass is NewClass for statically correct definitions; it panics on
+// error (examples and tests).
+func MustClass(name string, opts ...Option) *Class {
+	c, err := NewClass(name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

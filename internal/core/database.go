@@ -1,0 +1,419 @@
+package core
+
+import (
+	"encoding"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ode/internal/event"
+	"ode/internal/eventexpr"
+	"ode/internal/fsm"
+	"ode/internal/lock"
+	"ode/internal/obj"
+	"ode/internal/storage"
+	"ode/internal/txn"
+)
+
+// Ref is a persistent pointer: the typed handle through which member
+// functions must be invoked for events to be posted (§5.3).
+type Ref struct {
+	oid storage.OID
+}
+
+// NilRef is the persistent null pointer.
+var NilRef = Ref{}
+
+// OID exposes the underlying object identifier.
+func (r Ref) OID() storage.OID { return r.oid }
+
+// IsNil reports whether the reference is the persistent null.
+func (r Ref) IsNil() bool { return r.oid == storage.InvalidOID }
+
+func (r Ref) String() string { return fmt.Sprintf("ref(%d)", r.oid) }
+
+// RefFromOID rebuilds a Ref from a raw OID (cross-process handles, the
+// inspect tool).
+func RefFromOID(oid storage.OID) Ref { return Ref{oid} }
+
+// TriggerIDFromOID rebuilds a TriggerID from a raw OID (handles passed
+// across process or network boundaries).
+func TriggerIDFromOID(oid storage.OID) TriggerID { return TriggerID{oid} }
+
+// TriggerID identifies one trigger activation; it deactivates the
+// activation (§4.1). Its OID is that of the persistent TriggerState.
+type TriggerID struct {
+	oid storage.OID
+}
+
+// IsNil reports an empty TriggerID.
+func (t TriggerID) IsNil() bool { return t.oid == storage.InvalidOID }
+
+// OID exposes the TriggerState object's identifier.
+func (t TriggerID) OID() storage.OID { return t.oid }
+
+func (t TriggerID) String() string { return fmt.Sprintf("trigger(%d)", t.oid) }
+
+// Errors of the core layer.
+var (
+	// ErrUnknownClass reports an unregistered class.
+	ErrUnknownClass = errors.New("core: class not registered with this database")
+	// ErrUnknownMethod reports an Invoke of an undeclared method.
+	ErrUnknownMethod = errors.New("core: unknown method")
+	// ErrUnknownTrigger reports activation of an undeclared trigger.
+	ErrUnknownTrigger = errors.New("core: unknown trigger")
+	// ErrUnknownEvent reports posting of an undeclared user event.
+	ErrUnknownEvent = errors.New("core: unknown or undeclared event")
+	// ErrNotFound re-exports the storage not-found error.
+	ErrNotFound = storage.ErrNotFound
+)
+
+// BoundTrigger is the run-time TriggerInfo of §5.4.4: the compiled FSM,
+// the action, the perpetual flag, and the coupling mode, stored in the
+// type descriptor of the defining class.
+type BoundTrigger struct {
+	Def     *TriggerDef
+	Machine *fsm.Machine
+	owner   *BoundClass
+}
+
+// Name returns the trigger name.
+func (bt *BoundTrigger) Name() string { return bt.Def.Name }
+
+// BoundClass is the compiler-generated type descriptor (the paper's
+// type_CredCard, §5.2): per-database, per-class run-time machinery. FSMs
+// are compiled when the class is registered — the paper's
+// "compile an FSM every time" decision (§5.1.3) — and shared by every
+// object of the class.
+type BoundClass struct {
+	Def *Class
+	// ID is the catalog class identifier within this database.
+	ID uint32
+	db *Database
+
+	// eventIDs maps the expression-language spelling to the run-time ID.
+	eventIDs map[string]event.ID
+	alphabet []event.ID
+	// methodEvents precomputes each method's before/after event IDs
+	// (event.None when not declared) — the wrapper-function decision of
+	// §5.3 made at bind time.
+	methodEvents map[string]methodEvents
+	// ownTriggers is the §5.4.4 TriggerInfo array, indexed by triggernum.
+	ownTriggers []*BoundTrigger
+	// triggersByName includes inherited triggers for activation.
+	triggersByName map[string]*BoundTrigger
+}
+
+type methodEvents struct {
+	before, after event.ID
+}
+
+// Name returns the class name.
+func (bc *BoundClass) Name() string { return bc.Def.name }
+
+// EventID resolves a declared event spelling ("after Buy") to its ID.
+func (bc *BoundClass) EventID(key string) (event.ID, bool) {
+	id, ok := bc.eventIDs[key]
+	return id, ok
+}
+
+// TriggerByName finds an activatable trigger (own or inherited).
+func (bc *BoundClass) TriggerByName(name string) (*BoundTrigger, bool) {
+	bt, ok := bc.triggersByName[name]
+	return bt, ok
+}
+
+// Stats counts trigger-system activity; the experiments read these.
+type Stats struct {
+	EventsPosted     uint64 // basic events posted to objects
+	FastPathSkips    uint64 // postings skipped via the header bit (§5.4.5 fn 3)
+	TriggersAdvanced uint64 // FSM advances that changed state (write locks taken)
+	MasksEvaluated   uint64
+	FiredImmediate   uint64
+	FiredDeferred    uint64
+	FiredDependent   uint64
+	FiredIndependent uint64
+	ActionErrors     uint64 // detached actions whose system txn aborted
+}
+
+// Database is one Ode database: a storage manager plus the object and
+// trigger run-time. All sessions (and, through a shared store file,
+// processes) see the same persistent TriggerStates, which is what makes
+// Ode's composite events global (§7).
+type Database struct {
+	store storage.Manager
+	lm    *lock.Manager
+	tm    *txn.Manager
+	om    *obj.Manager
+	reg   *event.Registry
+
+	mu         sync.RWMutex
+	byName     map[string]*BoundClass
+	byID       map[uint32]*BoundClass
+	txnStates  map[txn.ID]*txnState
+	statsMu    sync.Mutex
+	stats      Stats
+	detachWait sync.WaitGroup
+}
+
+// NewDatabase opens a database over an already-opened storage manager.
+// The caller owns the storage manager's lifetime; Close closes it.
+func NewDatabase(store storage.Manager) (*Database, error) {
+	lm := lock.NewManager()
+	tm := txn.NewManager(store, lm)
+	om, err := obj.New(tm)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{
+		store:     store,
+		lm:        lm,
+		tm:        tm,
+		om:        om,
+		reg:       event.NewRegistry(),
+		byName:    make(map[string]*BoundClass),
+		byID:      make(map[uint32]*BoundClass),
+		txnStates: make(map[txn.ID]*txnState),
+	}, nil
+}
+
+// Store returns the storage manager.
+func (db *Database) Store() storage.Manager { return db.store }
+
+// Locks returns the lock manager (experiments read its stats).
+func (db *Database) Locks() *lock.Manager { return db.lm }
+
+// Txns returns the transaction manager.
+func (db *Database) Txns() *txn.Manager { return db.tm }
+
+// Objects returns the object manager (used by the inspect tool).
+func (db *Database) Objects() *obj.Manager { return db.om }
+
+// Registry returns the database's event registry.
+func (db *Database) Registry() *event.Registry { return db.reg }
+
+// Stats returns a snapshot of trigger-system counters.
+func (db *Database) Stats() Stats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.stats
+}
+
+// ResetStats zeroes the counters.
+func (db *Database) ResetStats() {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	db.stats = Stats{}
+}
+
+func (db *Database) bump(f func(*Stats)) {
+	db.statsMu.Lock()
+	f(&db.stats)
+	db.statsMu.Unlock()
+}
+
+// Close waits for in-flight detached trigger transactions and closes the
+// storage manager.
+func (db *Database) Close() error {
+	db.detachWait.Wait()
+	return db.store.Close()
+}
+
+// Register binds class definitions to this database: catalog IDs are
+// assigned, events get their unique run-time integers, and every
+// trigger's event expression is compiled to its FSM. Parents must be
+// registered before (or along with) derived classes.
+func (db *Database) Register(classes ...*Class) error {
+	// Sort so parents bind before children when passed together.
+	ordered := topoOrder(classes)
+	tx := db.tm.Begin()
+	pending := make(map[string]*BoundClass)
+	var bound []*BoundClass
+	for _, c := range ordered {
+		bc, err := db.bind(tx, c, pending)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		pending[bc.Def.name] = bc
+		bound = append(bound, bc)
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	for _, bc := range bound {
+		db.byName[bc.Def.name] = bc
+		db.byID[bc.ID] = bc
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// topoOrder returns classes with parents before children.
+func topoOrder(classes []*Class) []*Class {
+	var out []*Class
+	seen := map[*Class]bool{}
+	inSet := map[*Class]bool{}
+	for _, c := range classes {
+		inSet[c] = true
+	}
+	var visit func(c *Class)
+	visit = func(c *Class) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		for _, p := range c.parents {
+			if inSet[p] {
+				visit(p)
+			}
+		}
+		out = append(out, c)
+	}
+	for _, c := range classes {
+		visit(c)
+	}
+	return out
+}
+
+// bind builds the type descriptor for one class. pending holds classes
+// bound earlier in the same Register batch.
+func (db *Database) bind(tx *txn.Txn, c *Class, pending map[string]*BoundClass) (*BoundClass, error) {
+	lookup := func(name string) (*BoundClass, bool) {
+		if bc, ok := pending[name]; ok {
+			return bc, true
+		}
+		db.mu.RLock()
+		bc, ok := db.byName[name]
+		db.mu.RUnlock()
+		return bc, ok
+	}
+	if existing, ok := lookup(c.name); ok {
+		if existing.Def != c {
+			return nil, fmt.Errorf("core: class %s already registered with a different definition", c.name)
+		}
+		return existing, nil
+	}
+
+	// Parents must be resolvable.
+	for _, p := range c.parents {
+		if _, ok := lookup(p.name); !ok {
+			return nil, fmt.Errorf("core: class %s: parent %s not registered", c.name, p.name)
+		}
+	}
+
+	id, err := db.om.EnsureClass(tx, c.name)
+	if err != nil {
+		return nil, err
+	}
+	bc := &BoundClass{
+		Def:            c,
+		ID:             id,
+		db:             db,
+		eventIDs:       make(map[string]event.ID),
+		methodEvents:   make(map[string]methodEvents),
+		triggersByName: make(map[string]*BoundTrigger),
+	}
+
+	// Resolve declared events to run-time IDs; inherited events register
+	// under their declaring class so base and derived share IDs (§5.2).
+	for _, e := range c.events {
+		var id event.ID
+		if e.decl.Kind == event.KindTxn {
+			id = db.reg.Lookup("", e.decl)
+		} else {
+			id = db.reg.Register(e.owner.name, e.decl)
+		}
+		bc.eventIDs[e.key()] = id
+		bc.alphabet = append(bc.alphabet, id)
+	}
+	sort.Slice(bc.alphabet, func(i, j int) bool { return bc.alphabet[i] < bc.alphabet[j] })
+
+	for name := range c.methods {
+		me := methodEvents{
+			before: bc.eventIDs["before "+name],
+			after:  bc.eventIDs["after "+name],
+		}
+		bc.methodEvents[name] = me
+	}
+
+	// Compile FSMs for the class's own triggers; inherited triggers reuse
+	// the defining class's machines via its bound descriptor.
+	for _, td := range c.ownTriggers {
+		m, err := fsm.Compile(td.parsed, fsm.Options{
+			Resolve: func(n *eventexpr.Name) (event.ID, error) {
+				id, ok := bc.eventIDs[n.String()]
+				if !ok || id == event.None {
+					return event.None, fmt.Errorf("event %q not declared by class %s", n.String(), c.name)
+				}
+				return id, nil
+			},
+			Alphabet: bc.alphabet,
+			MaskExists: func(name string) error {
+				if _, ok := c.masks[name]; !ok {
+					return fmt.Errorf("mask %q not registered on class %s", name, c.name)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: class %s trigger %s: %w", c.name, td.Name, err)
+		}
+		bt := &BoundTrigger{Def: td, Machine: m, owner: bc}
+		bc.ownTriggers = append(bc.ownTriggers, bt)
+		bc.triggersByName[td.Name] = bt
+	}
+	// Inherit triggers from bound parents.
+	for name, td := range c.triggersByName {
+		if td.owner == c {
+			continue
+		}
+		ownerBC, ok := lookup(td.owner.name)
+		if !ok {
+			return nil, fmt.Errorf("core: class %s: trigger %s owner %s not bound", c.name, name, td.owner.name)
+		}
+		bc.triggersByName[name] = ownerBC.ownTriggers[td.num]
+	}
+	return bc, nil
+}
+
+// ClassOf returns the bound class descriptor by name.
+func (db *Database) ClassOf(name string) (*BoundClass, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bc, ok := db.byName[name]
+	return bc, ok
+}
+
+// classByID resolves a catalog class ID (used when loading objects).
+func (db *Database) classByID(id uint32) (*BoundClass, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bc, ok := db.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: class id %d (register the class in this process first)", ErrUnknownClass, id)
+	}
+	return bc, nil
+}
+
+// --- codec -------------------------------------------------------------------
+
+// encodeInstance serializes an object: encoding.BinaryMarshaler when
+// implemented, JSON otherwise.
+func encodeInstance(v any) ([]byte, error) {
+	if bm, ok := v.(encoding.BinaryMarshaler); ok {
+		return bm.MarshalBinary()
+	}
+	return json.Marshal(v)
+}
+
+// decodeInstance fills a factory-fresh value from a stored payload.
+func decodeInstance(payload []byte, v any) error {
+	if bu, ok := v.(encoding.BinaryUnmarshaler); ok {
+		return bu.UnmarshalBinary(payload)
+	}
+	return json.Unmarshal(payload, v)
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+)
+
+// eventArgsFixture: masks and actions inspect the parameters of the
+// member-function invocation that posted the event — the §8 extension
+// ("attributes of events ... at least in masks").
+func eventArgsFixture(t *testing.T) (*Database, Ref, *[]float64) {
+	t.Helper()
+	var seen []float64
+	cls := MustClass("Shop",
+		Factory(func() any { return new(CredCard) }),
+		Method("Buy", func(ctx *Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal += args[0].(float64)
+			return nil, nil
+		}),
+		Events("after Buy"),
+		Mask("BigAmount", func(ctx *Ctx, self any, act *Activation) (bool, error) {
+			// The mask sees the Buy amount, not just object state.
+			return act.EventArgFloat(0) >= 100, nil
+		}),
+		Trigger("OnBigBuy", "after Buy & BigAmount",
+			func(ctx *Ctx, self any, act *Activation) error {
+				seen = append(seen, act.EventArgFloat(0))
+				return nil
+			},
+			Perpetual()),
+	)
+	db := newTestDB(t, cls)
+	tx := db.Begin()
+	ref, err := db.Create(tx, "Shop", &CredCard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Activate(tx, ref, "OnBigBuy"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db, ref, &seen
+}
+
+func TestMaskSeesMemberFunctionArgs(t *testing.T) {
+	db, ref, seen := eventArgsFixture(t)
+	for _, amt := range []float64{5, 250, 30, 100} {
+		tx := db.Begin()
+		if _, err := db.Invoke(tx, ref, "Buy", amt); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*seen) != 2 || (*seen)[0] != 250 || (*seen)[1] != 100 {
+		t.Fatalf("big buys seen = %v, want [250 100]", *seen)
+	}
+}
+
+func TestEventArgsNotPersisted(t *testing.T) {
+	// EventArgs are transient: the stored trigger state never carries
+	// them (they belong to a posting, not to the activation).
+	db, ref, _ := eventArgsFixture(t)
+	tx := db.Begin()
+	defer tx.Abort()
+	active, err := db.ActiveTriggers(tx, ref)
+	if err != nil || len(active) != 1 {
+		t.Fatalf("active = %v, %v", active, err)
+	}
+	if len(active[0].Args) != 0 {
+		t.Fatalf("activation args contaminated: %v", active[0].Args)
+	}
+}
+
+func TestEventArgsEmptyForUserEvents(t *testing.T) {
+	var gotLen = -1
+	cls := MustClass("UE",
+		Factory(func() any { return new(CredCard) }),
+		Events("Ping"),
+		Trigger("T", "Ping",
+			func(ctx *Ctx, self any, act *Activation) error {
+				gotLen = len(act.EventArgs)
+				return nil
+			},
+			Perpetual()),
+	)
+	db := newTestDB(t, cls)
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "UE", &CredCard{})
+	db.Activate(tx, ref, "T")
+	if err := db.PostUserEvent(tx, ref, "Ping"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if gotLen != 0 {
+		t.Fatalf("user event delivered EventArgs of len %d", gotLen)
+	}
+}
+
+func TestEventArgAccessors(t *testing.T) {
+	a := &Activation{EventArgs: []any{12.5, "store-7", true}}
+	if a.EventArgFloat(0) != 12.5 {
+		t.Fatal("EventArgFloat")
+	}
+	if a.EventArgString(1) != "store-7" {
+		t.Fatal("EventArgString")
+	}
+	if a.EventArgFloat(1) != 0 || a.EventArgString(0) != "" {
+		t.Fatal("wrong-type accessors should zero")
+	}
+	if a.EventArgFloat(9) != 0 || a.EventArgString(9) != "" {
+		t.Fatal("out-of-range accessors should zero")
+	}
+}

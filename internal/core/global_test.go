@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ode/internal/storage/eos"
+	"ode/internal/txn"
+)
+
+// TestGlobalCompositeAcrossProcesses is experiment E14's correctness half:
+// because TriggerStates live in the database (not in transient program
+// memory as in Sentinel, §7), a composite event armed by one application
+// can be completed by another. We simulate two application processes with
+// two Database instances over the same store file, opened sequentially.
+func TestGlobalCompositeAcrossProcesses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "global.eos")
+
+	// "Application 1": create the card, activate AutoRaiseLimit, arm the
+	// pattern with a big Buy, then exit.
+	var ref Ref
+	{
+		store, err := eos.Open(path, eos.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := NewDatabase(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Register(newCredCardClass()); err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		ref, err = db.Create(tx, "CredCard", &CredCard{CredLim: 1000, GoodHist: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Activate(tx, ref, "AutoRaiseLimit", 500.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		tx2 := db.Begin()
+		if _, err := db.Invoke(tx2, ref, "Buy", 900.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Application 2": a fresh process completes the pattern.
+	{
+		store, err := eos.Open(path, eos.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := NewDatabase(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Register(newCredCardClass()); err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		if _, err := db.Invoke(tx, ref, "PayBill", 100.0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		tx2 := db.Begin()
+		v, err := db.Get(tx2, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := v.(*CredCard)
+		tx2.Commit()
+		if c.CredLim != 1500 {
+			t.Fatalf("cross-process composite did not fire: limit %v, want 1500", c.CredLim)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentSessions exercises the engine under concurrent
+// transactions on disjoint objects (deadlock-free) and shared objects
+// (conflicts resolved by the lock manager, victims retried).
+func TestConcurrentSessions(t *testing.T) {
+	db := newTestDB(t)
+
+	// Disjoint: one card per worker.
+	const workers = 8
+	refs := make([]Ref, workers)
+	for i := range refs {
+		refs[i] = newCard(t, db, 1e9, true)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				tx := db.Begin()
+				if _, err := db.Invoke(tx, refs[w], "Buy", 1.0); err != nil {
+					tx.Abort()
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("worker %d commit: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if c := card(t, db, refs[w]); c.CurrBal != 25 {
+			t.Fatalf("worker %d balance = %v, want 25", w, c.CurrBal)
+		}
+	}
+
+	// Shared object with an active trigger: retry deadlock victims; the
+	// final balance must equal the successful increments.
+	shared := newCard(t, db, 1e9, true)
+	tx := db.Begin()
+	if _, err := db.Activate(tx, shared, "DenyCredit"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	var mu sync.Mutex
+	committed := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for {
+					tx := db.Begin()
+					_, err := db.Invoke(tx, shared, "Buy", 1.0)
+					if err != nil {
+						tx.Abort()
+						if errors.Is(err, txn.ErrAborted) {
+							continue // deadlock victim: retry
+						}
+						t.Errorf("invoke: %v", err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						if errors.Is(err, txn.ErrAborted) {
+							continue
+						}
+						t.Errorf("commit: %v", err)
+						return
+					}
+					mu.Lock()
+					committed++
+					mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c := card(t, db, shared); int(c.CurrBal) != committed {
+		t.Fatalf("balance %v != committed increments %d", c.CurrBal, committed)
+	}
+	if committed != workers*10 {
+		t.Fatalf("committed %d, want %d", committed, workers*10)
+	}
+}

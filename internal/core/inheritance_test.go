@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+)
+
+// GoldCard derives from CredCard (the paper's Customer-derives-Person
+// pattern, §2), adding a cash-back method with its own event and a
+// derived-class trigger that mixes base and derived events.
+type GoldCard struct {
+	CredCard
+	CashBack float64
+}
+
+func newGoldCardClass(base *Class) *Class {
+	return MustClass("GoldCard",
+		Extends(base),
+		Factory(func() any { return new(GoldCard) }),
+		Method("Redeem", func(ctx *Ctx, self any, args []any) (any, error) {
+			g := self.(*GoldCard)
+			g.CashBack = 0
+			return nil, nil
+		}),
+		Events("after Redeem"),
+		Trigger("RedeemAfterBuy", "after Buy, after Redeem",
+			func(ctx *Ctx, self any, act *Activation) error {
+				g := self.(*GoldCard)
+				g.BlackMarks = append(g.BlackMarks, "redeemed-right-after-buy")
+				return nil
+			},
+			Perpetual()),
+	)
+}
+
+// goldFixture registers CredCard + GoldCard. GoldCard's factory returns
+// *GoldCard, but the base class methods operate on *CredCard — the method
+// bodies must therefore accept both. For the test we override the base
+// methods in GoldCard terms where needed.
+func goldFixture(t *testing.T) (*Database, *Class, *Class) {
+	t.Helper()
+	base := MustClass("CredCard",
+		Factory(func() any { return new(CredCard) }),
+		Method("Buy", func(ctx *Ctx, self any, args []any) (any, error) {
+			switch c := self.(type) {
+			case *CredCard:
+				c.CurrBal += args[0].(float64)
+			case *GoldCard:
+				c.CurrBal += args[0].(float64)
+			}
+			return nil, nil
+		}),
+		Method("PayBill", func(ctx *Ctx, self any, args []any) (any, error) {
+			switch c := self.(type) {
+			case *CredCard:
+				c.CurrBal -= args[0].(float64)
+			case *GoldCard:
+				c.CurrBal -= args[0].(float64)
+			}
+			return nil, nil
+		}),
+		Events("after Buy", "after PayBill"),
+		Trigger("BuyThenPay", "after Buy, after PayBill",
+			func(ctx *Ctx, self any, act *Activation) error {
+				switch c := self.(type) {
+				case *CredCard:
+					c.BlackMarks = append(c.BlackMarks, "base-fired")
+				case *GoldCard:
+					c.BlackMarks = append(c.BlackMarks, "base-fired")
+				}
+				return nil
+			},
+			Perpetual()),
+	)
+	gold := newGoldCardClass(base)
+	db := newTestDB(t, base, gold)
+	return db, base, gold
+}
+
+func TestDerivedObjectRunsInheritedMethodsAndTriggers(t *testing.T) {
+	db, _, _ := goldFixture(t)
+	tx := db.Begin()
+	ref, err := db.Create(tx, "GoldCard", &GoldCard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base trigger activated on a derived object.
+	if _, err := db.Activate(tx, ref, "BuyThenPay"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx2 := db.Begin()
+	if _, err := db.Invoke(tx2, ref, "Buy", 100.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Invoke(tx2, ref, "PayBill", 50.0); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+
+	tx3 := db.Begin()
+	defer tx3.Abort()
+	v, err := db.Get(tx3, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := v.(*GoldCard)
+	if g.CurrBal != 50 {
+		t.Fatalf("inherited methods broken: balance %v", g.CurrBal)
+	}
+	if len(g.BlackMarks) != 1 || g.BlackMarks[0] != "base-fired" {
+		t.Fatalf("base trigger on derived object: %v", g.BlackMarks)
+	}
+}
+
+func TestBaseTriggerIgnoresDerivedEvents(t *testing.T) {
+	// §5.4.3: "A base class trigger should not see the events of a
+	// derived class" — the derived-only after Redeem must not break the
+	// base trigger's Buy,PayBill adjacency.
+	db, _, _ := goldFixture(t)
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "GoldCard", &GoldCard{})
+	db.Activate(tx, ref, "BuyThenPay")
+	tx.Commit()
+
+	tx2 := db.Begin()
+	db.Invoke(tx2, ref, "Buy", 100.0)
+	db.Invoke(tx2, ref, "Redeem") // derived event, invisible to base FSM
+	db.Invoke(tx2, ref, "PayBill", 50.0)
+	tx2.Commit()
+
+	tx3 := db.Begin()
+	defer tx3.Abort()
+	v, _ := db.Get(tx3, ref)
+	if marks := v.(*GoldCard).BlackMarks; len(marks) != 1 {
+		t.Fatalf("base trigger saw derived event (marks %v)", marks)
+	}
+}
+
+func TestDerivedTriggerMixesBaseAndDerivedEvents(t *testing.T) {
+	db, _, _ := goldFixture(t)
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "GoldCard", &GoldCard{})
+	db.Activate(tx, ref, "RedeemAfterBuy")
+	tx.Commit()
+
+	tx2 := db.Begin()
+	db.Invoke(tx2, ref, "Buy", 10.0) // base event, shared ID with base class
+	db.Invoke(tx2, ref, "Redeem")    // derived event
+	tx2.Commit()
+
+	tx3 := db.Begin()
+	defer tx3.Abort()
+	v, _ := db.Get(tx3, ref)
+	if marks := v.(*GoldCard).BlackMarks; len(marks) != 1 || marks[0] != "redeemed-right-after-buy" {
+		t.Fatalf("derived trigger: %v", marks)
+	}
+}
+
+func TestDerivedTriggerNotActivatableOnBaseObject(t *testing.T) {
+	db, _, _ := goldFixture(t)
+	tx := db.Begin()
+	defer tx.Abort()
+	ref, _ := db.Create(tx, "CredCard", &CredCard{})
+	if _, err := db.Activate(tx, ref, "RedeemAfterBuy"); err == nil {
+		t.Fatal("derived trigger activated on base object")
+	}
+}
+
+func TestSharedEventIDsAcrossHierarchy(t *testing.T) {
+	// The inherited "after Buy" must map to the same run-time integer in
+	// base and derived descriptors (§5.2).
+	db, _, _ := goldFixture(t)
+	base, _ := db.ClassOf("CredCard")
+	gold, _ := db.ClassOf("GoldCard")
+	bID, ok1 := base.EventID("after Buy")
+	gID, ok2 := gold.EventID("after Buy")
+	if !ok1 || !ok2 || bID != gID {
+		t.Fatalf("after Buy IDs differ: base %d (%v) vs derived %d (%v)", bID, ok1, gID, ok2)
+	}
+	if _, ok := base.EventID("after Redeem"); ok {
+		t.Fatal("base class sees derived-only event")
+	}
+	if _, ok := gold.EventID("after Redeem"); !ok {
+		t.Fatal("derived class missing its own event")
+	}
+}
+
+func TestIsSubclassOf(t *testing.T) {
+	_, base, gold := goldFixture(t)
+	if !gold.IsSubclassOf(base) || !gold.IsSubclassOf(gold) {
+		t.Fatal("subclass relation broken")
+	}
+	if base.IsSubclassOf(gold) {
+		t.Fatal("base reported as subclass of derived")
+	}
+}
+
+func TestMultipleInheritanceMerges(t *testing.T) {
+	a := MustClass("A",
+		Factory(func() any { return new(CredCard) }),
+		Method("FromA", func(ctx *Ctx, self any, args []any) (any, error) { return "a", nil }),
+		Events("after FromA"),
+	)
+	b := MustClass("B",
+		Factory(func() any { return new(CredCard) }),
+		Method("FromB", func(ctx *Ctx, self any, args []any) (any, error) { return "b", nil }),
+		Events("after FromB"),
+	)
+	c := MustClass("C",
+		Extends(a, b),
+		Factory(func() any { return new(CredCard) }),
+		Trigger("Both", "after FromA, after FromB",
+			func(ctx *Ctx, self any, act *Activation) error { return nil }),
+	)
+	db := newTestDB(t, a, b, c)
+	bc, _ := db.ClassOf("C")
+	idA, okA := bc.EventID("after FromA")
+	idB, okB := bc.EventID("after FromB")
+	if !okA || !okB {
+		t.Fatal("multiply inherited events missing")
+	}
+	// §6: globally unique integers mean no renumbering collision.
+	if idA == idB {
+		t.Fatalf("multiply inherited events collided on ID %d", idA)
+	}
+}
+
+func TestMultipleInheritanceAmbiguityRejected(t *testing.T) {
+	a := MustClass("AmbA",
+		Factory(func() any { return new(CredCard) }),
+		Method("Same", func(ctx *Ctx, self any, args []any) (any, error) { return "a", nil }),
+	)
+	b := MustClass("AmbB",
+		Factory(func() any { return new(CredCard) }),
+		Method("Same", func(ctx *Ctx, self any, args []any) (any, error) { return "b", nil }),
+	)
+	if _, err := NewClass("AmbC", Extends(a, b),
+		Factory(func() any { return new(CredCard) })); err == nil {
+		t.Fatal("ambiguous method inheritance accepted")
+	}
+	// Local override resolves the ambiguity.
+	if _, err := NewClass("AmbD", Extends(a, b),
+		Factory(func() any { return new(CredCard) }),
+		Method("Same", func(ctx *Ctx, self any, args []any) (any, error) { return "d", nil }),
+	); err != nil {
+		t.Fatalf("override did not resolve ambiguity: %v", err)
+	}
+}
+
+func TestRegisterRequiresParent(t *testing.T) {
+	base := MustClass("Base1",
+		Factory(func() any { return new(CredCard) }),
+	)
+	derived := MustClass("Derived1",
+		Extends(base),
+		Factory(func() any { return new(CredCard) }),
+	)
+	db := newTestDB(t)
+	if err := db.Register(derived); err == nil {
+		t.Fatal("derived registered without parent")
+	}
+	// Registering both at once works regardless of order.
+	if err := db.Register(derived, base); err != nil {
+		t.Fatalf("combined register: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"ode/internal/event"
+	"ode/internal/storage"
+	"ode/internal/txn"
+)
+
+// This file implements the paper's §8 extension: local rules.
+//
+//	"Including local rules [7] would be useful, since they are low cost
+//	 and useful for a variety of tasks. No persistent storage is required
+//	 for such triggers, only data structures that can be deallocated at
+//	 end-of-transaction. Also, such triggers never require obtaining
+//	 write locks for the purpose of processing trigger events. They can
+//	 be used internally to efficiently implement constraints."
+//
+// A local activation reuses the class's declared triggers (same compiled
+// FSMs, masks, and actions) but keeps the machine state in the
+// transaction's memory: nothing is written to the store, no trigger
+// descriptor locks are taken, and the activation vanishes when the
+// transaction ends — commit or abort. Coupling modes work as usual
+// (an end-coupled local trigger is precisely the paper's "efficiently
+// implement constraints" case).
+
+// LocalTriggerID identifies a local activation within its transaction.
+type LocalTriggerID struct {
+	seq int
+	tx  *txnState
+}
+
+// IsNil reports an empty LocalTriggerID.
+func (l LocalTriggerID) IsNil() bool { return l.tx == nil }
+
+// localActivation is the transient counterpart of a TriggerState.
+type localActivation struct {
+	seq      int
+	bt       *BoundTrigger
+	ref      Ref
+	stateNum int32
+	args     []any
+	dead     bool // deactivated or fired (once-only)
+}
+
+// ActivateLocal activates a declared trigger as a local rule on ref: it
+// observes events for the remainder of the current transaction only. The
+// returned LocalTriggerID can cancel it early with DeactivateLocal.
+func (db *Database) ActivateLocal(tx *txn.Txn, ref Ref, trigger string, args ...any) (LocalTriggerID, error) {
+	st := db.state(tx)
+	inst, _, err := st.load(ref, false)
+	if err != nil {
+		return LocalTriggerID{}, err
+	}
+	bt, ok := inst.bc.triggersByName[trigger]
+	if !ok {
+		return LocalTriggerID{}, fmt.Errorf("%w: %s on class %s", ErrUnknownTrigger, trigger, inst.bc.Def.name)
+	}
+	la := &localActivation{
+		seq:      st.localSeq,
+		bt:       bt,
+		ref:      ref,
+		stateNum: bt.Machine.Start,
+		args:     normalizeArgs(args),
+	}
+	st.localSeq++
+	// Resolve a mask-at-start cascade exactly as persistent activation
+	// does.
+	if start := bt.Machine.States[bt.Machine.Start]; start.Mask >= 0 {
+		act := &Activation{Trigger: trigger, Args: la.args, Ref: ref}
+		settled, _, err := bt.Machine.Settle(bt.Machine.Start, st.maskEval(ref, bt, act))
+		if err != nil {
+			return LocalTriggerID{}, err
+		}
+		la.stateNum = settled
+	}
+	st.localTrigs = append(st.localTrigs, la)
+	return LocalTriggerID{seq: la.seq, tx: st}, nil
+}
+
+// DeactivateLocal cancels a local activation before the transaction ends.
+func (db *Database) DeactivateLocal(tx *txn.Txn, id LocalTriggerID) error {
+	st := db.state(tx)
+	if id.tx != st {
+		return fmt.Errorf("core: local trigger %d belongs to another transaction", id.seq)
+	}
+	for _, la := range st.localTrigs {
+		if la.seq == id.seq && !la.dead {
+			la.dead = true
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: local trigger %d", ErrNotFound, id.seq)
+}
+
+// LocalTriggersOn counts live local activations on ref (tests, tools).
+func (db *Database) LocalTriggersOn(tx *txn.Txn, ref Ref) int {
+	st := db.state(tx)
+	n := 0
+	for _, la := range st.localTrigs {
+		if !la.dead && la.ref == ref {
+			n++
+		}
+	}
+	return n
+}
+
+// postLocal advances local activations anchored at ref. It mirrors the
+// §5.4.5 algorithm — advance all, then fire — but touches no storage and
+// takes no locks.
+func (st *txnState) postLocal(ref Ref, ev event.ID, evArgs []any) error {
+	if len(st.localTrigs) == 0 {
+		return nil
+	}
+	var fired []*localActivation
+	for _, la := range st.localTrigs {
+		if la.dead || la.ref != ref {
+			continue
+		}
+		act := &Activation{Trigger: la.bt.Def.Name, Args: la.args, Ref: ref, EventArgs: evArgs}
+		next, accepted, err := la.bt.Machine.Advance(la.stateNum, ev, st.maskEval(ref, la.bt, act))
+		if err != nil {
+			return err
+		}
+		la.stateNum = next
+		if accepted {
+			fired = append(fired, la)
+		}
+	}
+	for _, la := range fired {
+		if la.bt.Def.Perpetual {
+			la.stateNum = la.bt.Machine.Start
+		} else {
+			la.dead = true
+		}
+		f := firedRec{
+			bt:     la.bt,
+			rec:    triggerStateRec{Name: la.bt.Def.Name, Args: la.args, ObjOID: uint64(ref.oid)},
+			tsOID:  storage.InvalidOID,
+			ref:    ref,
+			evArgs: evArgs,
+		}
+		switch la.bt.Def.Coupling {
+		case Immediate:
+			st.db.bump(func(s *Stats) { s.FiredImmediate++ })
+			if err := st.runAction(f); err != nil {
+				return err
+			}
+		case Deferred:
+			st.endList = append(st.endList, f)
+		case Dependent:
+			st.depList = append(st.depList, f)
+		case Independent:
+			st.indepList = append(st.indepList, f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ode/internal/event"
+)
+
+// This file implements the paper's §8 extension: timed triggers —
+// "Timed triggers, where the passage of time can be used to produce
+// events, are also of interest."
+//
+// A Timers scheduler turns the passage of time into ordinary user-defined
+// event postings: Schedule(ref, "Expire", at) posts the declared user
+// event "Expire" to ref when the clock passes `at`; Every(...) does so
+// periodically. Time is supplied by the caller through AdvanceTo — a
+// virtual clock — so trigger behaviour is deterministic and testable; a
+// production caller feeds time.Now() on a ticker. Each due posting runs
+// in its own transaction (a missed timer must not poison unrelated work),
+// so timed firings compose with every coupling mode.
+
+// timerEntry is one scheduled posting.
+type timerEntry struct {
+	seq    int
+	ref    Ref
+	event  string
+	due    time.Duration
+	period time.Duration // 0 = one-shot
+	dead   bool
+}
+
+// TimerID cancels a scheduled timer.
+type TimerID struct {
+	seq int
+}
+
+// Timers schedules time-driven event postings against one database. It
+// is not safe for concurrent use; drive it from one goroutine (or guard
+// externally).
+type Timers struct {
+	db      *Database
+	entries []*timerEntry
+	now     time.Duration
+	nextSeq int
+	// Fired counts postings delivered (tests, tools).
+	Fired uint64
+	// Errors counts postings whose transaction failed.
+	Errors uint64
+}
+
+// NewTimers returns a timer scheduler with its clock at zero.
+func NewTimers(db *Database) *Timers {
+	return &Timers{db: db}
+}
+
+// Now reports the scheduler's current virtual time.
+func (t *Timers) Now() time.Duration { return t.now }
+
+// validate checks that the event is a declared user event on ref's class.
+func (t *Timers) validate(ref Ref, userEvent string) error {
+	tx := t.db.Begin()
+	defer tx.Abort()
+	st := t.db.state(tx)
+	inst, _, err := st.load(ref, false)
+	if err != nil {
+		return err
+	}
+	decl, ok := inst.bc.Def.eventKey[userEvent]
+	if !ok || decl.decl.Kind != event.KindUser {
+		return fmt.Errorf("%w: timer event %q must be a declared user event on class %s",
+			ErrUnknownEvent, userEvent, inst.bc.Def.name)
+	}
+	return nil
+}
+
+// Schedule posts the declared user event once when the clock reaches at.
+func (t *Timers) Schedule(ref Ref, userEvent string, at time.Duration) (TimerID, error) {
+	if err := t.validate(ref, userEvent); err != nil {
+		return TimerID{}, err
+	}
+	e := &timerEntry{seq: t.nextSeq, ref: ref, event: userEvent, due: at}
+	t.nextSeq++
+	t.entries = append(t.entries, e)
+	return TimerID{seq: e.seq}, nil
+}
+
+// Every posts the declared user event periodically, first at start and
+// then every period.
+func (t *Timers) Every(ref Ref, userEvent string, start, period time.Duration) (TimerID, error) {
+	if period <= 0 {
+		return TimerID{}, fmt.Errorf("core: timer period must be positive, got %v", period)
+	}
+	if err := t.validate(ref, userEvent); err != nil {
+		return TimerID{}, err
+	}
+	e := &timerEntry{seq: t.nextSeq, ref: ref, event: userEvent, due: start, period: period}
+	t.nextSeq++
+	t.entries = append(t.entries, e)
+	return TimerID{seq: e.seq}, nil
+}
+
+// Cancel removes a scheduled timer.
+func (t *Timers) Cancel(id TimerID) error {
+	for _, e := range t.entries {
+		if e.seq == id.seq && !e.dead {
+			e.dead = true
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: timer %d", ErrNotFound, id.seq)
+}
+
+// Pending reports the number of live timers.
+func (t *Timers) Pending() int {
+	n := 0
+	for _, e := range t.entries {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// AdvanceTo moves the clock forward and delivers every due posting in
+// time order, each in its own transaction. Periodic timers that fall due
+// several times within the window fire once per period. Posting errors
+// are counted, not fatal: time keeps moving.
+func (t *Timers) AdvanceTo(now time.Duration) {
+	if now < t.now {
+		return // time does not run backwards
+	}
+	for {
+		// Find the earliest due entry at or before now.
+		var next *timerEntry
+		for _, e := range t.entries {
+			if e.dead || e.due > now {
+				continue
+			}
+			if next == nil || e.due < next.due || (e.due == next.due && e.seq < next.seq) {
+				next = e
+			}
+		}
+		if next == nil {
+			break
+		}
+		t.fire(next)
+		if next.period > 0 {
+			next.due += next.period
+		} else {
+			next.dead = true
+		}
+	}
+	t.now = now
+	t.compact()
+}
+
+// fire delivers one posting in its own transaction.
+func (t *Timers) fire(e *timerEntry) {
+	tx := t.db.Begin()
+	if err := t.db.PostUserEvent(tx, e.ref, e.event); err != nil {
+		tx.Abort()
+		t.Errors++
+		return
+	}
+	if err := tx.Commit(); err != nil {
+		t.Errors++
+		return
+	}
+	t.Fired++
+}
+
+// compact drops dead entries (keeping seq order).
+func (t *Timers) compact() {
+	live := t.entries[:0]
+	for _, e := range t.entries {
+		if !e.dead {
+			live = append(live, e)
+		}
+	}
+	t.entries = live
+	sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].seq < t.entries[j].seq })
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// timerFixture: an account that expires offers when the "OfferExpired"
+// timer event arrives, and accrues interest on periodic "InterestTick"s.
+func timerFixture(t *testing.T) (*Database, Ref, *Timers) {
+	t.Helper()
+	cls := MustClass("TimedAccount",
+		Factory(func() any { return new(CredCard) }),
+		Method("Accrue", func(ctx *Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal *= 1.01
+			return nil, nil
+		}),
+		Events("OfferExpired", "InterestTick", "after Accrue"),
+		Trigger("ExpireOffer", "OfferExpired",
+			func(ctx *Ctx, self any, act *Activation) error {
+				c := self.(*CredCard)
+				c.GoodHist = false // the "offer" flag for this test
+				return nil
+			}),
+		Trigger("AccrueOnTick", "InterestTick",
+			func(ctx *Ctx, self any, act *Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "Accrue")
+				return err
+			},
+			Perpetual()),
+	)
+	db := newTestDB(t, cls)
+	tx := db.Begin()
+	ref, err := db.Create(tx, "TimedAccount", &CredCard{CurrBal: 100, GoodHist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Activate(tx, ref, "ExpireOffer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Activate(tx, ref, "AccrueOnTick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db, ref, NewTimers(db)
+}
+
+func TestOneShotTimerFiresOnce(t *testing.T) {
+	db, ref, tm := timerFixture(t)
+	if _, err := tm.Schedule(ref, "OfferExpired", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tm.AdvanceTo(5 * time.Second)
+	if c := card(t, db, ref); !c.GoodHist {
+		t.Fatal("timer fired early")
+	}
+	tm.AdvanceTo(15 * time.Second)
+	if c := card(t, db, ref); c.GoodHist {
+		t.Fatal("timer did not fire at its due time")
+	}
+	if tm.Fired != 1 || tm.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d", tm.Fired, tm.Pending())
+	}
+	// Further advances do not re-fire a one-shot.
+	tm.AdvanceTo(100 * time.Second)
+	if tm.Fired != 1 {
+		t.Fatalf("one-shot refired: %d", tm.Fired)
+	}
+}
+
+func TestPeriodicTimerCatchesUp(t *testing.T) {
+	db, ref, tm := timerFixture(t)
+	if _, err := tm.Every(ref, "InterestTick", time.Second, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Jumping 5 seconds delivers 5 ticks (1s,2s,3s,4s,5s).
+	tm.AdvanceTo(5 * time.Second)
+	if tm.Fired != 5 {
+		t.Fatalf("fired %d ticks, want 5", tm.Fired)
+	}
+	c := card(t, db, ref)
+	want := 100 * 1.01 * 1.01 * 1.01 * 1.01 * 1.01
+	if diff := c.CurrBal - want; diff > 0.001 || diff < -0.001 {
+		t.Fatalf("balance = %v, want %v", c.CurrBal, want)
+	}
+	if tm.Pending() != 1 {
+		t.Fatalf("periodic timer vanished: pending=%d", tm.Pending())
+	}
+}
+
+func TestTimerOrderingAcrossEntries(t *testing.T) {
+	// Two timers due within one window fire in time order — the second
+	// completes a sequence pattern only if it really arrives second.
+	var order []string
+	cls := MustClass("Seq",
+		Factory(func() any { return new(CredCard) }),
+		Events("A", "B"),
+		Trigger("OnA", "A",
+			func(ctx *Ctx, self any, act *Activation) error { order = append(order, "A"); return nil },
+			Perpetual()),
+		Trigger("OnB", "B",
+			func(ctx *Ctx, self any, act *Activation) error { order = append(order, "B"); return nil },
+			Perpetual()),
+		Trigger("ABPattern", "A, B",
+			func(ctx *Ctx, self any, act *Activation) error { order = append(order, "A,B!"); return nil },
+			Perpetual()),
+	)
+	db := newTestDB(t, cls)
+	tx := db.Begin()
+	ref, _ := db.Create(tx, "Seq", &CredCard{})
+	for _, trig := range []string{"OnA", "OnB", "ABPattern"} {
+		if _, err := db.Activate(tx, ref, trig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Commit()
+
+	tm := NewTimers(db)
+	// Schedule B before A in call order, but A earlier in time.
+	if _, err := tm.Schedule(ref, "B", 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Schedule(ref, "A", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tm.AdvanceTo(30 * time.Second)
+	got := ""
+	for _, o := range order {
+		got += o + ";"
+	}
+	if got != "A;B;A,B!;" {
+		t.Fatalf("order = %q, want A then B then the composite", got)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	db, ref, tm := timerFixture(t)
+	id, err := tm.Schedule(ref, "OfferExpired", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	tm.AdvanceTo(time.Minute)
+	if c := card(t, db, ref); !c.GoodHist {
+		t.Fatal("cancelled timer fired")
+	}
+	if err := tm.Cancel(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double cancel: %v", err)
+	}
+}
+
+func TestTimerValidation(t *testing.T) {
+	_, ref, tm := timerFixture(t)
+	if _, err := tm.Schedule(ref, "NotDeclared", time.Second); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("undeclared event: %v", err)
+	}
+	if _, err := tm.Schedule(ref, "after Accrue", time.Second); !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("member event as timer: %v", err)
+	}
+	if _, err := tm.Every(ref, "InterestTick", 0, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestTimerClockMonotonic(t *testing.T) {
+	_, ref, tm := timerFixture(t)
+	if _, err := tm.Schedule(ref, "OfferExpired", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tm.AdvanceTo(20 * time.Second)
+	fired := tm.Fired
+	tm.AdvanceTo(5 * time.Second) // backwards: ignored
+	if tm.Now() != 20*time.Second {
+		t.Fatalf("clock went backwards: %v", tm.Now())
+	}
+	if tm.Fired != fired {
+		t.Fatal("backwards advance fired timers")
+	}
+}
+
+func TestTimerErrorCounted(t *testing.T) {
+	db, ref, tm := timerFixture(t)
+	if _, err := tm.Schedule(ref, "OfferExpired", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the object so the posting transaction fails.
+	tx := db.Begin()
+	if err := db.Delete(tx, ref); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	tm.AdvanceTo(time.Minute)
+	if tm.Errors != 1 || tm.Fired != 0 {
+		t.Fatalf("errors=%d fired=%d", tm.Errors, tm.Fired)
+	}
+}

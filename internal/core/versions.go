@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"ode/internal/storage"
+	"ode/internal/txn"
+)
+
+// This file implements O++'s versioned-object facility, listed among the
+// language's capabilities in the paper's §2 overview ("facilities for
+// creating persistent and versioned objects"). A version is an immutable
+// snapshot of an object's state at the moment CreateVersion ran; the
+// snapshot is itself a persistent object of the same class, readable with
+// Get and listed through Versions in creation order. Versions are plain
+// objects with their own OIDs: events are never posted to them (they have
+// no active triggers), and deleting the base object leaves its versions
+// readable, as O++ version pointers outlive the working copy.
+
+// versionClusterName names the hidden per-object version list.
+func versionClusterName(oid storage.OID) string {
+	return fmt.Sprintf("::versions:%d", oid)
+}
+
+// CreateVersion snapshots ref's current state (including uncommitted
+// changes visible to tx) into a new immutable object and returns its Ref.
+func (db *Database) CreateVersion(tx *txn.Txn, ref Ref) (Ref, error) {
+	st := db.state(tx)
+	inst, _, err := st.load(ref, false)
+	if err != nil {
+		return NilRef, err
+	}
+	payload, err := encodeInstance(inst.val)
+	if err != nil {
+		return NilRef, err
+	}
+	oid, err := db.om.Create(tx, inst.bc.ID, 0, payload)
+	if err != nil {
+		return NilRef, err
+	}
+	ver := Ref{oid}
+	if err := db.om.ClusterAdd(tx, versionClusterName(ref.oid), oid); err != nil {
+		return NilRef, err
+	}
+	return ver, nil
+}
+
+// Versions lists ref's snapshots in creation order.
+func (db *Database) Versions(tx *txn.Txn, ref Ref) ([]Ref, error) {
+	var out []Ref
+	err := db.om.ClusterScan(tx, versionClusterName(ref.oid), func(oid storage.OID) error {
+		out = append(out, Ref{oid})
+		return nil
+	})
+	return out, err
+}
+
+// DropVersion deletes one snapshot and removes it from the version list.
+func (db *Database) DropVersion(tx *txn.Txn, base, version Ref) error {
+	if err := db.om.ClusterRemove(tx, versionClusterName(base.oid), version.oid); err != nil {
+		return err
+	}
+	return db.Delete(tx, version)
+}
+
+// RollbackToVersion restores the base object's state from a snapshot (the
+// snapshot itself is untouched). The restore is an ordinary update inside
+// tx: it takes the exclusive lock and is transactional like any write.
+// Note that restoring state this way posts no events — it is a storage
+// operation, not a member-function invocation.
+func (db *Database) RollbackToVersion(tx *txn.Txn, base, version Ref) error {
+	st := db.state(tx)
+	vinst, _, err := st.load(version, false)
+	if err != nil {
+		return err
+	}
+	binst, _, err := st.load(base, true)
+	if err != nil {
+		return err
+	}
+	if vinst.bc != binst.bc {
+		return fmt.Errorf("core: version %v has class %s, base %v has %s",
+			version, vinst.bc.Def.name, base, binst.bc.Def.name)
+	}
+	payload, err := encodeInstance(vinst.val)
+	if err != nil {
+		return err
+	}
+	// Refresh the cached instance so in-transaction readers see the
+	// restored state.
+	if err := decodeInstance(payload, binst.val); err != nil {
+		return err
+	}
+	return db.om.Update(tx, base.oid, payload)
+}

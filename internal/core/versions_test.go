@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestVersionSnapshotAndList(t *testing.T) {
+	db := newTestDB(t)
+	ref := newCard(t, db, 1000, true)
+
+	// Snapshot at balance 0, then at 100, then at 250.
+	var versions []Ref
+	amounts := []float64{0, 100, 150}
+	for i, amt := range amounts {
+		tx := db.Begin()
+		if amt > 0 {
+			if _, err := db.Invoke(tx, ref, "Buy", amt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, err := db.CreateVersion(tx, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, v)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+
+	tx := db.Begin()
+	defer tx.Abort()
+	list, err := db.Versions(tx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("versions = %v", list)
+	}
+	wantBal := []float64{0, 100, 250}
+	for i, v := range list {
+		if v != versions[i] {
+			t.Fatalf("version order: %v vs %v", list, versions)
+		}
+		val, err := db.Get(tx, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := val.(*CredCard).CurrBal; got != wantBal[i] {
+			t.Fatalf("version %d balance = %v, want %v", i, got, wantBal[i])
+		}
+	}
+}
+
+func TestVersionIsImmutableSnapshot(t *testing.T) {
+	db := newTestDB(t)
+	ref := newCard(t, db, 1000, true)
+	tx := db.Begin()
+	v, err := db.CreateVersion(tx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the base after snapshotting, same transaction.
+	if _, err := db.Invoke(tx, ref, "Buy", 500.0); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx2 := db.Begin()
+	defer tx2.Abort()
+	val, err := db.Get(tx2, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.(*CredCard).CurrBal != 0 {
+		t.Fatalf("snapshot mutated: %v", val.(*CredCard).CurrBal)
+	}
+}
+
+func TestRollbackToVersion(t *testing.T) {
+	db := newTestDB(t)
+	ref := newCard(t, db, 1000, true)
+	tx := db.Begin()
+	v, _ := db.CreateVersion(tx, ref) // balance 0
+	if _, err := db.Invoke(tx, ref, "Buy", 700.0); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx2 := db.Begin()
+	if err := db.RollbackToVersion(tx2, ref, v); err != nil {
+		t.Fatal(err)
+	}
+	// In-transaction read sees the restored state.
+	val, _ := db.Get(tx2, ref)
+	if val.(*CredCard).CurrBal != 0 {
+		t.Fatalf("in-txn restored balance = %v", val.(*CredCard).CurrBal)
+	}
+	tx2.Commit()
+	if c := card(t, db, ref); c.CurrBal != 0 {
+		t.Fatalf("restored balance = %v, want 0", c.CurrBal)
+	}
+}
+
+func TestDropVersion(t *testing.T) {
+	db := newTestDB(t)
+	ref := newCard(t, db, 1000, true)
+	tx := db.Begin()
+	v1, _ := db.CreateVersion(tx, ref)
+	v2, _ := db.CreateVersion(tx, ref)
+	if err := db.DropVersion(tx, ref, v1); err != nil {
+		t.Fatal(err)
+	}
+	list, _ := db.Versions(tx, ref)
+	if len(list) != 1 || list[0] != v2 {
+		t.Fatalf("versions after drop = %v", list)
+	}
+	if _, err := db.Get(tx, v1); err == nil {
+		t.Fatal("dropped version still readable")
+	}
+	tx.Commit()
+}
+
+func TestVersionsSurviveBaseDeletion(t *testing.T) {
+	db := newTestDB(t)
+	ref := newCard(t, db, 1000, true)
+	tx := db.Begin()
+	v, _ := db.CreateVersion(tx, ref)
+	if err := db.Delete(tx, ref); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx2 := db.Begin()
+	defer tx2.Abort()
+	if _, err := db.Get(tx2, v); err != nil {
+		t.Fatalf("version lost with base: %v", err)
+	}
+}
+
+func TestVersionMismatchedClassRejected(t *testing.T) {
+	other := MustClass("Other",
+		Factory(func() any { return new(CredCard) }),
+	)
+	db := newTestDB(t, newCredCardClass(), other)
+	tx := db.Begin()
+	defer tx.Abort()
+	a, _ := db.Create(tx, "CredCard", &CredCard{})
+	b, _ := db.Create(tx, "Other", &CredCard{})
+	vb, err := db.CreateVersion(tx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RollbackToVersion(tx, a, vb); err == nil {
+		t.Fatal("cross-class rollback accepted")
+	}
+}
+
+func TestVersionsRollBackWithTransaction(t *testing.T) {
+	db := newTestDB(t)
+	ref := newCard(t, db, 1000, true)
+	tx := db.Begin()
+	if _, err := db.CreateVersion(tx, ref); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	tx2 := db.Begin()
+	defer tx2.Abort()
+	list, err := db.Versions(tx2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("aborted snapshot survived: %v", list)
+	}
+}

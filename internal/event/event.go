@@ -1,0 +1,228 @@
+// Package event implements Ode's run-time representation of basic events.
+//
+// The paper (§5.2) represents every basic event — member-function events,
+// user-defined events, and transaction events — as an instance of type
+// eventRep carrying a globally unique small integer. Because of separate
+// compilation, Ode cannot assign those integers at compile time; instead the
+// eventRep constructor consults a run-time table keyed by the pair
+// (local event number, class descriptor) and either reuses a previously
+// assigned integer or allocates the next one. This package reproduces that
+// scheme: a Registry maps (class, local event) pairs to dense unique IDs,
+// and the same pair always yields the same ID for the life of the registry.
+//
+// §6 of the paper explains why global unique integers matter: with
+// per-class numbering, multiple inheritance can give two distinct inherited
+// events the same number, forcing remapping; with globally unique IDs the
+// sparse transition representation needs no remapping at all.
+package event
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is the globally unique integer assigned to a basic event at run time.
+// The zero value is reserved as "no event".
+type ID uint32
+
+// None is the reserved invalid event ID.
+const None ID = 0
+
+// Kind classifies a basic event. The paper's basic events are member
+// function events (before/after), user-defined events, and the two
+// transaction events before tcomplete and before tabort (§5.1, §5.5). The
+// pseudo-events True and False are produced internally by mask states
+// (§5.1.2) and never posted by applications.
+type Kind uint8
+
+const (
+	// KindBefore is a "before member-function" event.
+	KindBefore Kind = iota
+	// KindAfter is an "after member-function" event.
+	KindAfter
+	// KindUser is a user-defined event, posted explicitly by the
+	// application (like BigBuy in the paper's §4 example).
+	KindUser
+	// KindTxn is a transaction event (before tcomplete, before tabort).
+	KindTxn
+	// KindPseudo is a mask pseudo-event (True or False). Pseudo events
+	// are internal to the FSM machinery.
+	KindPseudo
+)
+
+// String returns the O++-style spelling of the kind prefix.
+func (k Kind) String() string {
+	switch k {
+	case KindBefore:
+		return "before"
+	case KindAfter:
+		return "after"
+	case KindUser:
+		return "user"
+	case KindTxn:
+		return "txn"
+	case KindPseudo:
+		return "pseudo"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Decl is a declared event: the (kind, name) pair appearing in an O++
+// event declaration such as
+//
+//	event after Buy, after PayBill, BigBuy;
+//
+// Member-function events name the member function; user events name
+// themselves; transaction events use the fixed names "tcomplete" and
+// "tabort".
+type Decl struct {
+	Kind Kind
+	Name string
+}
+
+// String renders the declaration the way the paper writes events,
+// e.g. "after Buy" or "BigBuy".
+func (d Decl) String() string {
+	switch d.Kind {
+	case KindUser:
+		return d.Name
+	default:
+		return d.Kind.String() + " " + d.Name
+	}
+}
+
+// Before, After, User and Txn are convenience constructors for Decls.
+func Before(name string) Decl { return Decl{KindBefore, name} }
+
+// After builds an "after name" member-function event declaration.
+func After(name string) Decl { return Decl{KindAfter, name} }
+
+// User builds a user-defined event declaration.
+func User(name string) Decl { return Decl{KindUser, name} }
+
+// Txn builds a transaction event declaration ("tcomplete" or "tabort").
+func Txn(name string) Decl { return Decl{KindTxn, name} }
+
+// Transaction event declarations. The paper supports exactly these two;
+// after tabort and after tcommit were deliberately dropped (§6).
+var (
+	BeforeTComplete = Decl{KindTxn, "tcomplete"}
+	BeforeTAbort    = Decl{KindTxn, "tabort"}
+)
+
+// key identifies an underlying event for unique-integer assignment: the
+// paper's eventRep constructor takes (local event number, type descriptor).
+// We key on (class name, kind, event name), which is the same identity the
+// pair encodes — a class's local numbering is just an enumeration of its
+// declared (kind, name) events.
+type key struct {
+	class string
+	kind  Kind
+	name  string
+}
+
+// Registry assigns globally unique IDs to underlying events at run time,
+// exactly once per distinct event, mirroring the eventRep constructor's
+// table (§5.2). It is safe for concurrent use: separate "applications"
+// (sessions) share one registry per process.
+type Registry struct {
+	mu      sync.RWMutex
+	byKey   map[key]ID
+	byID    []Info // index = ID; entry 0 is a placeholder for None
+	pseudoT ID
+	pseudoF ID
+}
+
+// Info describes a registered event.
+type Info struct {
+	ID    ID
+	Class string // declaring class; empty for transaction and pseudo events
+	Decl  Decl
+}
+
+// String renders the event with its declaring class, e.g. "CredCard::after Buy".
+func (i Info) String() string {
+	if i.Class == "" {
+		return i.Decl.String()
+	}
+	return i.Class + "::" + i.Decl.String()
+}
+
+// NewRegistry returns a registry with the two transaction events and the
+// two mask pseudo-events pre-registered (they exist independently of any
+// class declaration).
+func NewRegistry() *Registry {
+	r := &Registry{
+		byKey: make(map[key]ID),
+		byID:  make([]Info, 1, 16), // slot 0 = None
+	}
+	// Transaction events are class-independent.
+	r.Register("", BeforeTComplete)
+	r.Register("", BeforeTAbort)
+	// Pseudo events are produced by mask states.
+	r.pseudoT = r.Register("", Decl{KindPseudo, "True"})
+	r.pseudoF = r.Register("", Decl{KindPseudo, "False"})
+	return r
+}
+
+// Register assigns (or retrieves) the unique ID for the event declared by
+// class. Calling Register twice with the same (class, decl) pair returns
+// the same ID — the paper's "the current constructor uses the unique
+// integer assigned by the previous constructor" behaviour.
+func (r *Registry) Register(class string, d Decl) ID {
+	k := key{class, d.Kind, d.Name}
+	r.mu.RLock()
+	id, ok := r.byKey[k]
+	r.mu.RUnlock()
+	if ok {
+		return id
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok = r.byKey[k]; ok {
+		return id
+	}
+	id = ID(len(r.byID))
+	r.byKey[k] = id
+	r.byID = append(r.byID, Info{ID: id, Class: class, Decl: d})
+	return id
+}
+
+// Lookup returns the ID previously assigned to (class, decl), or None if
+// the event was never registered.
+func (r *Registry) Lookup(class string, d Decl) ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byKey[key{class, d.Kind, d.Name}]
+}
+
+// Info returns the description of a registered event. The ok result is
+// false for None and for IDs never assigned.
+func (r *Registry) Info(id ID) (Info, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id == None || int(id) >= len(r.byID) {
+		return Info{}, false
+	}
+	return r.byID[id], true
+}
+
+// True and False return the IDs of the mask pseudo-events.
+func (r *Registry) True() ID { return r.pseudoT }
+
+// False returns the ID of the False pseudo-event.
+func (r *Registry) False() ID { return r.pseudoF }
+
+// TComplete and TAbort return the IDs of the transaction events.
+func (r *Registry) TComplete() ID { return r.Lookup("", BeforeTComplete) }
+
+// TAbort returns the ID of the before-tabort transaction event.
+func (r *Registry) TAbort() ID { return r.Lookup("", BeforeTAbort) }
+
+// Len reports how many events have been registered (excluding None).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID) - 1
+}

@@ -1,0 +1,188 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryAssignsDistinctIDs(t *testing.T) {
+	r := NewRegistry()
+	buy := r.Register("CredCard", After("Buy"))
+	pay := r.Register("CredCard", After("PayBill"))
+	big := r.Register("CredCard", User("BigBuy"))
+	if buy == pay || buy == big || pay == big {
+		t.Fatalf("distinct events got colliding IDs: %d %d %d", buy, pay, big)
+	}
+	for _, id := range []ID{buy, pay, big} {
+		if id == None {
+			t.Fatalf("valid event assigned None")
+		}
+	}
+}
+
+func TestRegistryIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Register("CredCard", After("Buy"))
+	b := r.Register("CredCard", After("Buy"))
+	if a != b {
+		t.Fatalf("same event registered twice got different IDs: %d vs %d", a, b)
+	}
+}
+
+func TestSameNameDifferentClassDiffers(t *testing.T) {
+	// §6: multiple inheritance means two classes' events must not share
+	// integers even when locally numbered the same.
+	r := NewRegistry()
+	a := r.Register("CredCard", After("Buy"))
+	b := r.Register("DebitCard", After("Buy"))
+	if a == b {
+		t.Fatalf("events from distinct classes collided on ID %d", a)
+	}
+}
+
+func TestBeforeAfterDiffer(t *testing.T) {
+	r := NewRegistry()
+	if r.Register("C", Before("Buy")) == r.Register("C", After("Buy")) {
+		t.Fatal("before Buy and after Buy got the same ID")
+	}
+}
+
+func TestPreRegisteredEvents(t *testing.T) {
+	r := NewRegistry()
+	if r.TComplete() == None || r.TAbort() == None {
+		t.Fatal("transaction events not pre-registered")
+	}
+	if r.True() == None || r.False() == None {
+		t.Fatal("pseudo events not pre-registered")
+	}
+	if r.True() == r.False() {
+		t.Fatal("True and False share an ID")
+	}
+}
+
+func TestLookupUnregistered(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Lookup("Nope", After("Never")); got != None {
+		t.Fatalf("Lookup of unregistered event = %d, want None", got)
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	id := r.Register("CredCard", After("Buy"))
+	info, ok := r.Info(id)
+	if !ok {
+		t.Fatal("Info() not found for registered event")
+	}
+	if info.Class != "CredCard" || info.Decl.Name != "Buy" || info.Decl.Kind != KindAfter {
+		t.Fatalf("Info round trip mismatch: %+v", info)
+	}
+	if _, ok := r.Info(None); ok {
+		t.Fatal("Info(None) reported ok")
+	}
+	if _, ok := r.Info(ID(9999)); ok {
+		t.Fatal("Info(unassigned) reported ok")
+	}
+}
+
+func TestDeclString(t *testing.T) {
+	cases := []struct {
+		d    Decl
+		want string
+	}{
+		{After("Buy"), "after Buy"},
+		{Before("Buy"), "before Buy"},
+		{User("BigBuy"), "BigBuy"},
+		{BeforeTComplete, "txn tcomplete"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Decl%v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestInfoString(t *testing.T) {
+	r := NewRegistry()
+	id := r.Register("CredCard", After("Buy"))
+	info, _ := r.Info(id)
+	if got := info.String(); got != "CredCard::after Buy" {
+		t.Errorf("Info.String() = %q", got)
+	}
+	tc, _ := r.Info(r.TComplete())
+	if got := tc.String(); got != "txn tcomplete" {
+		t.Errorf("txn Info.String() = %q", got)
+	}
+}
+
+// Property: for any sequence of registrations, IDs are dense, unique, and
+// stable under re-registration (the paper's eventRep invariant: each
+// underlying event maps to exactly one integer and no two distinct events
+// map to the same integer).
+func TestRegistryUniquenessProperty(t *testing.T) {
+	f := func(classes []uint8, names []uint8) bool {
+		r := NewRegistry()
+		seen := make(map[ID]string)
+		base := r.Len()
+		for i := range classes {
+			for j := range names {
+				class := fmt.Sprintf("C%d", classes[i]%8)
+				name := fmt.Sprintf("m%d", names[j]%8)
+				id := r.Register(class, After(name))
+				keyStr := class + "/" + name
+				if prev, ok := seen[id]; ok && prev != keyStr {
+					return false // collision
+				}
+				seen[id] = keyStr
+				if r.Register(class, After(name)) != id {
+					return false // not idempotent
+				}
+			}
+		}
+		return r.Len() == base+len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const events = 100
+	ids := make([][]ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]ID, events)
+			for e := 0; e < events; e++ {
+				ids[w][e] = r.Register("C", After(fmt.Sprintf("m%d", e)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for e := 0; e < events; e++ {
+			if ids[w][e] != ids[0][e] {
+				t.Fatalf("worker %d got ID %d for event %d, worker 0 got %d",
+					w, ids[w][e], e, ids[0][e])
+			}
+		}
+	}
+	if r.Len() != 4+events { // 2 txn + 2 pseudo pre-registered
+		t.Fatalf("registry has %d events, want %d", r.Len(), 4+events)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindAfter.String() != "after" || KindBefore.String() != "before" {
+		t.Fatal("Kind.String wrong for before/after")
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatalf("unknown kind string = %q", Kind(200).String())
+	}
+}

@@ -1,0 +1,221 @@
+// Package eventexpr implements Ode's composite-event specification
+// language (paper §5.1). An event expression is a regular expression over
+// the basic events declared by a class, built from:
+//
+//	E1 , E2          sequence ("," in Ode, ";" in the regular event language;
+//	                 both spellings are accepted)
+//	E1 || E2         union
+//	*E               repetition (zero or more), prefix as the paper writes it
+//	E & mask         mask application: when E completes, evaluate the named
+//	                 predicate; the composite event occurs only if it is true
+//	relative(E1,…,En) once E1 has been satisfied, any future satisfaction of
+//	                 E2 continues the match, and so on (§4, Figure 1)
+//	any              matches any declared basic event
+//	^E               anchor: do not prepend (*any), i.e. match from the
+//	                 activation point with nothing ignored (§5.1.1)
+//
+// Masks in O++ are arbitrary C++ expressions (e.g. "(currBal > credLim)").
+// Because this reproduction registers masks as named Go predicates on the
+// class, the expression language refers to masks by identifier, with an
+// optional trailing "()" so paper-style spellings like "MoreCred()" parse.
+package eventexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a node in the event-expression AST.
+type Expr interface {
+	// String renders the node in Ode's concrete syntax.
+	String() string
+	// isExpr restricts implementations to this package.
+	isExpr()
+}
+
+// Name is a reference to a basic event: a member-function event
+// ("after Buy", "before PayBill"), a user-defined event ("BigBuy"), or a
+// transaction event ("before tcomplete", "before tabort").
+type Name struct {
+	// Prefix is "before", "after", or "" for user-defined events.
+	Prefix string
+	// Ident is the member-function or user-event name.
+	Ident string
+}
+
+func (n *Name) isExpr() {}
+
+func (n *Name) String() string {
+	if n.Prefix == "" {
+		return n.Ident
+	}
+	return n.Prefix + " " + n.Ident
+}
+
+// Any matches any single basic event in the class's alphabet (§5.1.1).
+type Any struct{}
+
+func (*Any) isExpr()        {}
+func (*Any) String() string { return "any" }
+
+// Seq is the sequence operator: Left must occur, then Right.
+type Seq struct {
+	Left, Right Expr
+}
+
+func (*Seq) isExpr() {}
+
+func (s *Seq) String() string { return fmt.Sprintf("(%s, %s)", s.Left, s.Right) }
+
+// Or is the union operator "||".
+type Or struct {
+	Left, Right Expr
+}
+
+func (*Or) isExpr() {}
+
+func (o *Or) String() string { return fmt.Sprintf("(%s || %s)", o.Left, o.Right) }
+
+// Star is the repetition operator "*E": zero or more occurrences of E.
+type Star struct {
+	Sub Expr
+}
+
+func (*Star) isExpr() {}
+
+func (s *Star) String() string { return fmt.Sprintf("*%s", parens(s.Sub)) }
+
+// Mask applies a named predicate to a sub-expression: "E & m". When E
+// completes, the FSM enters a mask state that evaluates m and posts the
+// pseudo-event True or False (§5.1.2).
+type Mask struct {
+	Sub  Expr
+	Name string // registered mask predicate name
+}
+
+func (*Mask) isExpr() {}
+
+func (m *Mask) String() string { return fmt.Sprintf("(%s & %s())", m.Sub, m.Name) }
+
+// Relative is the n-ary relative(E1, …, En) operator. Per §4: "once the
+// composite event E1 has been satisfied, any future occurrences of E2 will
+// satisfy the trigger's composite event" — i.e. arbitrary events may
+// intervene between stages.
+type Relative struct {
+	Stages []Expr // len >= 2
+}
+
+func (*Relative) isExpr() {}
+
+func (r *Relative) String() string {
+	parts := make([]string, len(r.Stages))
+	for i, s := range r.Stages {
+		parts[i] = s.String()
+	}
+	return "relative(" + strings.Join(parts, ", ") + ")"
+}
+
+// parens wraps compound sub-expressions for unambiguous printing.
+func parens(e Expr) string {
+	switch e.(type) {
+	case *Name, *Any:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+// Desugar rewrites Relative nodes into their sequence/star form:
+// relative(E1, E2, …, En) ≡ E1, (*any), E2, (*any), …, En. The FSM
+// compiler works on desugared trees only. The returned tree shares no
+// Relative nodes with the input; other nodes may be shared.
+func Desugar(e Expr) Expr {
+	switch e := e.(type) {
+	case *Name, *Any:
+		return e
+	case *Seq:
+		return &Seq{Desugar(e.Left), Desugar(e.Right)}
+	case *Or:
+		return &Or{Desugar(e.Left), Desugar(e.Right)}
+	case *Star:
+		return &Star{Desugar(e.Sub)}
+	case *Mask:
+		return &Mask{Desugar(e.Sub), e.Name}
+	case *Relative:
+		out := Desugar(e.Stages[0])
+		for _, stage := range e.Stages[1:] {
+			out = &Seq{&Seq{out, &Star{&Any{}}}, Desugar(stage)}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("eventexpr: unknown node %T", e))
+	}
+}
+
+// Names returns every distinct basic-event reference in the expression, in
+// first-appearance order. The trigger compiler uses this to check that all
+// referenced events are declared by the class (§4: "All events of interest
+// … must be explicitly specified using an event declaration").
+func Names(e Expr) []*Name {
+	var out []*Name
+	seen := make(map[Name]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *Name:
+			if !seen[*e] {
+				seen[*e] = true
+				out = append(out, e)
+			}
+		case *Any:
+		case *Seq:
+			walk(e.Left)
+			walk(e.Right)
+		case *Or:
+			walk(e.Left)
+			walk(e.Right)
+		case *Star:
+			walk(e.Sub)
+		case *Mask:
+			walk(e.Sub)
+		case *Relative:
+			for _, s := range e.Stages {
+				walk(s)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// MaskNames returns every distinct mask predicate name referenced by the
+// expression, in first-appearance order.
+func MaskNames(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *Mask:
+			walk(e.Sub)
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				out = append(out, e.Name)
+			}
+		case *Seq:
+			walk(e.Left)
+			walk(e.Right)
+		case *Or:
+			walk(e.Left)
+			walk(e.Right)
+		case *Star:
+			walk(e.Sub)
+		case *Relative:
+			for _, s := range e.Stages {
+				walk(s)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,48 @@
+package eventexpr
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse checks that the parser never panics, and that anything it
+// accepts round-trips through String() to an equivalent tree.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"after Buy",
+		"relative((after Buy & MoreCred()), after PayBill)",
+		"*any, after Buy",
+		"A || B, C & m",
+		"^(A; B) & m1 && m2",
+		"relative(A, B, C, D)",
+		"*(*(A))",
+		"((((A))))",
+		"A & m()",
+		"before tcomplete, before tabort",
+		"| |", "&&&", "relative(", "^^", "*,", "any any",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) {
+			t.Skip()
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must round-trip.
+		printed := p.Expr.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own printout %q: %v", src, printed, err)
+		}
+		if p2.Expr.String() != printed {
+			t.Fatalf("unstable printout: %q -> %q", printed, p2.Expr.String())
+		}
+		// Desugaring and analysis must not panic either.
+		_ = Desugar(p.Expr)
+		_ = Names(p.Expr)
+		_ = MaskNames(p.Expr)
+	})
+}

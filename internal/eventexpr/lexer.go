@@ -1,0 +1,142 @@
+package eventexpr
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates the lexical tokens of the event language.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokComma  // "," or ";": sequence
+	tokOr     // "||"
+	tokAmp    // "&"
+	tokStar   // "*"
+	tokLParen // "("
+	tokRParen // ")"
+	tokCaret  // "^"
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of expression"
+	case tokIdent:
+		return "identifier"
+	case tokComma:
+		return "','"
+	case tokOr:
+		return "'||'"
+	case tokAmp:
+		return "'&'"
+	case tokStar:
+		return "'*'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokCaret:
+		return "'^'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// token is a lexed token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits an event-expression string into tokens.
+type lexer struct {
+	src string
+	off int
+}
+
+// SyntaxError reports a lexical or parse error in an event expression,
+// with the byte offset where it occurred.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("event expression %q: offset %d: %s", e.Input, e.Pos, e.Msg)
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: l.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.off < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		l.off += size
+	}
+	if l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: l.off}, nil
+	}
+	start := l.off
+	c := l.src[l.off]
+	switch c {
+	case ',', ';':
+		l.off++
+		return token{tokComma, string(c), start}, nil
+	case '&':
+		l.off++
+		// Tolerate "&&" as a synonym; the paper writes single "&".
+		if l.off < len(l.src) && l.src[l.off] == '&' {
+			l.off++
+		}
+		return token{tokAmp, l.src[start:l.off], start}, nil
+	case '|':
+		if l.off+1 < len(l.src) && l.src[l.off+1] == '|' {
+			l.off += 2
+			return token{tokOr, "||", start}, nil
+		}
+		return token{}, l.errorf(start, "single '|' (union is spelled '||')")
+	case '*':
+		l.off++
+		return token{tokStar, "*", start}, nil
+	case '(':
+		l.off++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.off++
+		return token{tokRParen, ")", start}, nil
+	case '^':
+		l.off++
+		return token{tokCaret, "^", start}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	if !isIdentStart(r) {
+		return token{}, l.errorf(start, "unexpected character %q", r)
+	}
+	for l.off < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.off += size
+	}
+	return token{tokIdent, l.src[start:l.off], start}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,313 @@
+package eventexpr
+
+import "fmt"
+
+// The grammar, lowest precedence first (matching the paper's usage: "&"
+// binds tighter than "," which binds tighter than "||"; "*" is a prefix
+// operator on a primary):
+//
+//	top      := '^'? union EOF
+//	union    := seq ('||' seq)*
+//	seq      := masked ((','|';') masked)*
+//	masked   := factor ('&' maskref)*
+//	factor   := '*' factor | primary
+//	primary  := '(' union ')'
+//	         | 'relative' '(' union (',' union)+ ')'
+//	         | 'any'
+//	         | ('before'|'after') IDENT
+//	         | IDENT            // user-defined event
+//	maskref  := IDENT ('(' ')')?
+
+// Parsed is the result of parsing a complete event expression: the AST plus
+// whether the expression was anchored with '^' (§5.1.1 — anchoring
+// suppresses the implicit (*any) prefix).
+type Parsed struct {
+	Expr     Expr
+	Anchored bool
+	Source   string
+}
+
+type parser struct {
+	lex  lexer
+	tok  token
+	peek *token
+}
+
+// Parse parses an Ode event expression such as
+//
+//	relative((after Buy & MoreCred()), after PayBill)
+//
+// and returns the AST with the anchor flag.
+func Parse(src string) (*Parsed, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	anchored := false
+	if p.tok.kind == tokCaret {
+		anchored = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	e, err := p.union()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.tok.kind)
+	}
+	return &Parsed{Expr: e, Anchored: anchored, Source: src}, nil
+}
+
+// MustParse is Parse for statically known-good expressions (tests,
+// examples); it panics on error.
+func MustParse(src string) *Parsed {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok, p.peek = *p.peek, nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// peekTok looks one token ahead without consuming the current token.
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Input: p.lex.src, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) union() (Expr, error) {
+	left, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) seq() (Expr, error) {
+	left, err := p.masked()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.masked()
+		if err != nil {
+			return nil, err
+		}
+		left = &Seq{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) masked() (Expr, error) {
+	e, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokAmp {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.maskRef()
+		if err != nil {
+			return nil, err
+		}
+		e = &Mask{Sub: e, Name: name}
+	}
+	return e, nil
+}
+
+func (p *parser) maskRef() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected mask name after '&', got %s", p.tok.kind)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	// Optional "()" so paper-style "MoreCred()" parses.
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		if p.tok.kind != tokRParen {
+			return "", p.errorf("expected ')' in mask reference %q()", name)
+		}
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+func (p *parser) factor() (Expr, error) {
+	if p.tok.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		sub, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &Star{sub}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.union()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', got %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		switch p.tok.text {
+		case "relative":
+			return p.relative()
+		case "any":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &Any{}, nil
+		case "before", "after":
+			prefix := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokIdent {
+				return nil, p.errorf("expected member-function name after %q", prefix)
+			}
+			n := &Name{Prefix: prefix, Ident: p.tok.text}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return n, nil
+		default:
+			n := &Name{Ident: p.tok.text}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return n, nil
+		}
+	default:
+		return nil, p.errorf("expected event, '(', or '*', got %s", p.tok.kind)
+	}
+}
+
+func (p *parser) relative() (Expr, error) {
+	// current token is the "relative" ident; require '(' next, otherwise
+	// treat "relative" as a plain user-event name.
+	next, err := p.peekTok()
+	if err != nil {
+		return nil, err
+	}
+	if next.kind != tokLParen {
+		n := &Name{Ident: p.tok.text}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	if err := p.advance(); err != nil { // consume "relative"
+		return nil, err
+	}
+	if err := p.advance(); err != nil { // consume "("
+		return nil, err
+	}
+	var stages []Expr
+	for {
+		// Stages are parsed at the "masked || masked" level but NOT the
+		// sequence level: inside relative(...), "," separates stages, so a
+		// sequence within a stage must be parenthesized — matching the
+		// paper's relative((after Buy & MoreCred()), after PayBill).
+		s, err := p.relStage()
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, s)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected ')' to close relative(...), got %s", p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if len(stages) < 2 {
+		return nil, p.errorf("relative(...) needs at least two stages, got %d", len(stages))
+	}
+	return &Relative{Stages: stages}, nil
+}
+
+// relStage parses one stage of relative(...): a union of masked factors
+// (no top-level sequence, since ',' separates stages).
+func (p *parser) relStage() (Expr, error) {
+	left, err := p.masked()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.masked()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{left, right}
+	}
+	return left, nil
+}

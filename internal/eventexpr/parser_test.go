@@ -1,0 +1,308 @@
+package eventexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasicEventNames(t *testing.T) {
+	cases := []struct {
+		src        string
+		wantPrefix string
+		wantIdent  string
+	}{
+		{"after Buy", "after", "Buy"},
+		{"before PayBill", "before", "PayBill"},
+		{"BigBuy", "", "BigBuy"},
+		{"before tcomplete", "before", "tcomplete"},
+		{"before tabort", "before", "tabort"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		n, ok := p.Expr.(*Name)
+		if !ok {
+			t.Fatalf("Parse(%q) = %T, want *Name", c.src, p.Expr)
+		}
+		if n.Prefix != c.wantPrefix || n.Ident != c.wantIdent {
+			t.Errorf("Parse(%q) = {%q %q}, want {%q %q}", c.src, n.Prefix, n.Ident, c.wantPrefix, c.wantIdent)
+		}
+	}
+}
+
+func TestParsePaperExpressions(t *testing.T) {
+	// The two trigger expressions from the paper's §4 CredCard example.
+	deny := MustParse("after Buy & OverLimit")
+	m, ok := deny.Expr.(*Mask)
+	if !ok {
+		t.Fatalf("DenyCredit expr = %T, want *Mask", deny.Expr)
+	}
+	if m.Name != "OverLimit" {
+		t.Errorf("mask name = %q", m.Name)
+	}
+	if n, ok := m.Sub.(*Name); !ok || n.Ident != "Buy" || n.Prefix != "after" {
+		t.Errorf("mask sub = %v", m.Sub)
+	}
+
+	raise := MustParse("relative((after Buy & MoreCred()), after PayBill)")
+	r, ok := raise.Expr.(*Relative)
+	if !ok {
+		t.Fatalf("AutoRaiseLimit expr = %T, want *Relative", raise.Expr)
+	}
+	if len(r.Stages) != 2 {
+		t.Fatalf("relative has %d stages, want 2", len(r.Stages))
+	}
+	if _, ok := r.Stages[0].(*Mask); !ok {
+		t.Errorf("stage 0 = %T, want *Mask", r.Stages[0])
+	}
+	if n, ok := r.Stages[1].(*Name); !ok || n.Ident != "PayBill" {
+		t.Errorf("stage 1 = %v", r.Stages[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// '&' binds tighter than ',' which binds tighter than '||'.
+	p := MustParse("A, B & m || C")
+	or, ok := p.Expr.(*Or)
+	if !ok {
+		t.Fatalf("top = %T, want *Or", p.Expr)
+	}
+	seq, ok := or.Left.(*Seq)
+	if !ok {
+		t.Fatalf("or.Left = %T, want *Seq", or.Left)
+	}
+	if _, ok := seq.Right.(*Mask); !ok {
+		t.Fatalf("seq.Right = %T, want *Mask", seq.Right)
+	}
+	if n, ok := or.Right.(*Name); !ok || n.Ident != "C" {
+		t.Fatalf("or.Right = %v", or.Right)
+	}
+}
+
+func TestParseStarPrefix(t *testing.T) {
+	p := MustParse("*any, after Buy")
+	seq, ok := p.Expr.(*Seq)
+	if !ok {
+		t.Fatalf("top = %T, want *Seq", p.Expr)
+	}
+	st, ok := seq.Left.(*Star)
+	if !ok {
+		t.Fatalf("seq.Left = %T, want *Star", seq.Left)
+	}
+	if _, ok := st.Sub.(*Any); !ok {
+		t.Fatalf("star sub = %T, want *Any", st.Sub)
+	}
+}
+
+func TestParseNestedStar(t *testing.T) {
+	p := MustParse("**A") // star of star, legal if useless
+	s1 := p.Expr.(*Star)
+	if _, ok := s1.Sub.(*Star); !ok {
+		t.Fatalf("inner = %T, want *Star", s1.Sub)
+	}
+}
+
+func TestParseAnchor(t *testing.T) {
+	p := MustParse("^after Buy, after PayBill")
+	if !p.Anchored {
+		t.Fatal("anchor not detected")
+	}
+	q := MustParse("after Buy")
+	if q.Anchored {
+		t.Fatal("spurious anchor")
+	}
+}
+
+func TestParseSemicolonSequence(t *testing.T) {
+	// ';' is the regular-event-language spelling of sequence (§5.1).
+	a := MustParse("A; B")
+	b := MustParse("A, B")
+	if a.Expr.String() != b.Expr.String() {
+		t.Fatalf("';' and ',' parse differently: %s vs %s", a.Expr, b.Expr)
+	}
+}
+
+func TestParseRelativeAsPlainName(t *testing.T) {
+	// "relative" not followed by '(' is an ordinary user event name.
+	p := MustParse("relative, A")
+	seq := p.Expr.(*Seq)
+	if n, ok := seq.Left.(*Name); !ok || n.Ident != "relative" {
+		t.Fatalf("left = %v, want user event 'relative'", seq.Left)
+	}
+}
+
+func TestParseRelativeManyStages(t *testing.T) {
+	p := MustParse("relative(A, B, C, D)")
+	r := p.Expr.(*Relative)
+	if len(r.Stages) != 4 {
+		t.Fatalf("stages = %d, want 4", len(r.Stages))
+	}
+}
+
+func TestParseDoubleAmp(t *testing.T) {
+	// "&&" tolerated as synonym for "&" (the paper's mask examples are C++
+	// boolean expressions, so users may write '&&' reflexively).
+	p := MustParse("after Buy && m")
+	if _, ok := p.Expr.(*Mask); !ok {
+		t.Fatalf("got %T, want *Mask", p.Expr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"after",          // missing member name
+		"A ||",           // dangling union
+		"(A",             // unclosed paren
+		"A)",             // stray paren
+		"A & ",           // missing mask name
+		"A & m(",         // unclosed mask parens
+		"relative(A)",    // too few stages
+		"relative(A, B",  // unclosed relative
+		"A | B",          // single pipe
+		"A $ B",          // bad character
+		"*",              // star of nothing
+		"A B",            // juxtaposition is not an operator
+		"^",              // anchor of nothing
+		"A &",            // trailing amp
+		"relative(,A)",   // empty stage
+		"relative(A,,B)", // empty middle stage
+		"after 9x",       // we do allow digits after start... "9x" starts with digit -> error
+		"A, ",            // trailing comma
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("A | B")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type = %T, want *SyntaxError", err)
+	}
+	if se.Pos != 2 {
+		t.Errorf("error pos = %d, want 2", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "A | B") {
+		t.Errorf("error message %q does not include input", se.Error())
+	}
+}
+
+func TestDesugarRelative(t *testing.T) {
+	p := MustParse("relative(A, B)")
+	d := Desugar(p.Expr)
+	// relative(A,B) => ((A, *any), B)
+	want := "((A, *any), B)"
+	if d.String() != want {
+		t.Fatalf("Desugar = %s, want %s", d, want)
+	}
+	p3 := MustParse("relative(A, B, C)")
+	d3 := Desugar(p3.Expr)
+	want3 := "((((A, *any), B), *any), C)"
+	if d3.String() != want3 {
+		t.Fatalf("Desugar 3-stage = %s, want %s", d3, want3)
+	}
+}
+
+func TestDesugarLeavesOthersAlone(t *testing.T) {
+	p := MustParse("(A || B), *C & m")
+	if got := Desugar(p.Expr).String(); got != p.Expr.String() {
+		t.Fatalf("Desugar changed non-relative expr: %s vs %s", got, p.Expr)
+	}
+}
+
+func TestNames(t *testing.T) {
+	p := MustParse("relative((after Buy & MoreCred()), after PayBill) || BigBuy, after Buy")
+	names := Names(p.Expr)
+	var got []string
+	for _, n := range names {
+		got = append(got, n.String())
+	}
+	want := []string{"after Buy", "after PayBill", "BigBuy"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaskNames(t *testing.T) {
+	p := MustParse("(A & m1), (B & m2) & m1")
+	got := MaskNames(p.Expr)
+	if len(got) != 2 || got[0] != "m1" || got[1] != "m2" {
+		t.Fatalf("MaskNames = %v, want [m1 m2]", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Printing a parsed expression and reparsing yields the same tree.
+	srcs := []string{
+		"after Buy & OverLimit",
+		"relative((after Buy & MoreCred()), after PayBill)",
+		"*any, after Buy",
+		"(A || B), C",
+		"A, B, C",
+		"*(A || B) & m",
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		p2 := MustParse(p1.Expr.String())
+		if p1.Expr.String() != p2.Expr.String() {
+			t.Errorf("round trip of %q: %s vs %s", src, p1.Expr, p2.Expr)
+		}
+	}
+}
+
+// genExpr builds a random valid expression for the round-trip property.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return &Name{Prefix: "after", Ident: "Buy"}
+		case 1:
+			return &Name{Ident: "BigBuy"}
+		default:
+			return &Any{}
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return &Seq{genExpr(r, depth-1), genExpr(r, depth-1)}
+	case 1:
+		return &Or{genExpr(r, depth-1), genExpr(r, depth-1)}
+	case 2:
+		return &Star{genExpr(r, depth-1)}
+	case 3:
+		return &Mask{genExpr(r, depth-1), "m"}
+	default:
+		return &Relative{Stages: []Expr{genExpr(r, depth-1), genExpr(r, depth-1)}}
+	}
+}
+
+// Property: String() output of any generated AST reparses to an AST with
+// identical String() — the concrete syntax is unambiguous.
+func TestParsePrintRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := genExpr(r, 3)
+		p, err := Parse(e.String())
+		if err != nil {
+			t.Logf("generated %s failed to parse: %v", e, err)
+			return false
+		}
+		return p.Expr.String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package fsm
+
+import (
+	"fmt"
+	"sort"
+
+	"ode/internal/event"
+)
+
+// DenseMachine is the two-dimensional-array transition representation the
+// Ode implementors originally planned and then abandoned (§6): a matrix
+// indexed by (current state, event column) holding next-state numbers.
+// The paper reports it is "very space inefficient for sparse arrays" and
+// that the per-class event renumbering it forces breaks down under
+// multiple inheritance. It is kept here as the baseline for experiment E6.
+//
+// A DenseMachine answers exactly the same Advance queries as the sparse
+// Machine it was built from; tests assert behavioural equivalence.
+type DenseMachine struct {
+	src *Machine
+	// col maps an event ID to its matrix column; events outside the
+	// alphabet have no column and are ignored.
+	col map[event.ID]int
+	// next[s*width+c] is the successor of state s on column c; a
+	// self-transition encodes "ignored".
+	next  []int32
+	width int
+}
+
+// NewDense converts a sparse machine into the dense-matrix form.
+func NewDense(m *Machine) *DenseMachine {
+	d := &DenseMachine{
+		src:   m,
+		col:   make(map[event.ID]int, len(m.Alphabet)),
+		width: len(m.Alphabet),
+	}
+	alpha := append([]event.ID(nil), m.Alphabet...)
+	sort.Slice(alpha, func(i, j int) bool { return alpha[i] < alpha[j] })
+	for i, id := range alpha {
+		d.col[id] = i
+	}
+	d.next = make([]int32, len(m.States)*d.width)
+	for s := range m.States {
+		for c := 0; c < d.width; c++ {
+			d.next[s*d.width+c] = int32(s) // default: ignored
+		}
+		for _, t := range m.States[s].Trans {
+			d.next[s*d.width+d.col[t.Event]] = t.Next
+		}
+	}
+	return d
+}
+
+// move performs one raw dense transition.
+func (d *DenseMachine) move(state int32, ev event.ID) int32 {
+	c, ok := d.col[ev]
+	if !ok {
+		return state // outside alphabet: ignored
+	}
+	return d.next[int(state)*d.width+c]
+}
+
+// Advance mirrors Machine.Advance on the dense representation.
+func (d *DenseMachine) Advance(state int32, ev event.ID, eval MaskEval) (int32, bool, error) {
+	m := d.src
+	if int(state) < 0 || int(state) >= len(m.States) {
+		return state, false, fmt.Errorf("fsm: state %d out of range [0,%d)", state, len(m.States))
+	}
+	cur := d.move(state, ev)
+	if cur == state && !m.hasTransition(state, ev) {
+		return state, false, nil
+	}
+	accepted := m.States[cur].Accept
+	for m.States[cur].Mask != NoMask {
+		st := m.States[cur]
+		v, err := eval(m.Masks[st.Mask])
+		if err != nil {
+			return cur, accepted, fmt.Errorf("fsm: mask %q: %w", m.Masks[st.Mask], err)
+		}
+		if v {
+			cur = st.OnTrue
+		} else {
+			cur = st.OnFalse
+		}
+		if m.States[cur].Accept {
+			accepted = true
+		}
+	}
+	return cur, accepted, nil
+}
+
+// MemoryFootprint estimates the bytes used by the dense matrix (E6): the
+// full states × alphabet grid at 4 bytes per cell, plus the column map.
+func (d *DenseMachine) MemoryFootprint() int {
+	const cellBytes = 4
+	const mapEntryBytes = 16 // event.ID key + int value + bucket overhead, rounded
+	return len(d.next)*cellBytes + len(d.col)*mapEntryBytes
+}
+
+// Width reports the alphabet width of the matrix.
+func (d *DenseMachine) Width() int { return d.width }
+
+// DenseIndexed is the exact representation the Ode implementors first
+// planned (§6): a two-dimensional array indexed directly by (state,
+// event integer). With globally unique event IDs its width is the
+// *application-wide* event count, not the class's — which is why the
+// paper calls it "very space inefficient for sparse arrays" and why
+// avoiding it with per-class ID reuse breaks under multiple inheritance.
+// Experiment E6 measures its footprint against the sparse lists.
+type DenseIndexed struct {
+	src   *Machine
+	next  []int32
+	width int // maxEvent+1
+}
+
+// NewDenseIndexed builds the direct-indexed matrix; maxEvent is the
+// largest event ID assigned anywhere in the application.
+func NewDenseIndexed(m *Machine, maxEvent event.ID) *DenseIndexed {
+	d := &DenseIndexed{src: m, width: int(maxEvent) + 1}
+	d.next = make([]int32, len(m.States)*d.width)
+	for s := range m.States {
+		for c := 0; c < d.width; c++ {
+			d.next[s*d.width+c] = int32(s) // default: ignored
+		}
+		for _, t := range m.States[s].Trans {
+			d.next[s*d.width+int(t.Event)] = t.Next
+		}
+	}
+	return d
+}
+
+// move performs one raw direct-indexed transition.
+func (d *DenseIndexed) move(state int32, ev event.ID) int32 {
+	if int(ev) >= d.width {
+		return state
+	}
+	return d.next[int(state)*d.width+int(ev)]
+}
+
+// Advance mirrors Machine.Advance on the direct-indexed matrix.
+func (d *DenseIndexed) Advance(state int32, ev event.ID, eval MaskEval) (int32, bool, error) {
+	m := d.src
+	if int(state) < 0 || int(state) >= len(m.States) {
+		return state, false, fmt.Errorf("fsm: state %d out of range [0,%d)", state, len(m.States))
+	}
+	cur := d.move(state, ev)
+	if cur == state && !m.hasTransition(state, ev) {
+		return state, false, nil
+	}
+	accepted := m.States[cur].Accept
+	for m.States[cur].Mask != NoMask {
+		st := m.States[cur]
+		v, err := eval(m.Masks[st.Mask])
+		if err != nil {
+			return cur, accepted, fmt.Errorf("fsm: mask %q: %w", m.Masks[st.Mask], err)
+		}
+		if v {
+			cur = st.OnTrue
+		} else {
+			cur = st.OnFalse
+		}
+		if m.States[cur].Accept {
+			accepted = true
+		}
+	}
+	return cur, accepted, nil
+}
+
+// MemoryFootprint reports the matrix bytes (4 per cell, no map needed).
+func (d *DenseIndexed) MemoryFootprint() int { return len(d.next) * 4 }

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// ErrRemoteAborted reports that the server rolled the transaction back
+// (tabort from a trigger, or deadlock victimization).
+var ErrRemoteAborted = errors.New("server: transaction aborted")
+
+// Client is a single-session client: one connection, at most one open
+// transaction — an "application" in the paper's sense.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to an Ode server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial: %w", err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// Close drops the connection (the server aborts any open transaction).
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req *Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("server: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("server: recv: %w", err)
+	}
+	if !resp.OK {
+		if resp.Aborted {
+			return &resp, fmt.Errorf("%w: %s", ErrRemoteAborted, resp.Error)
+		}
+		return &resp, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Begin opens a transaction.
+func (c *Client) Begin() error {
+	_, err := c.call(&Request{Op: "begin"})
+	return err
+}
+
+// Commit commits the open transaction.
+func (c *Client) Commit() error {
+	_, err := c.call(&Request{Op: "commit"})
+	return err
+}
+
+// Abort rolls the open transaction back.
+func (c *Client) Abort() error {
+	_, err := c.call(&Request{Op: "abort"})
+	return err
+}
+
+// Create makes a persistent object from a JSON-encodable value.
+func (c *Client) Create(class string, value any) (uint64, error) {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.call(&Request{Op: "create", Class: class, Value: raw})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Ref, nil
+}
+
+// Get loads an object's state into out (a JSON-decodable pointer).
+func (c *Client) Get(ref uint64, out any) error {
+	resp, err := c.call(&Request{Op: "get", Ref: ref})
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(resp.Value, out)
+}
+
+// Invoke calls a member function through the persistent reference.
+func (c *Client) Invoke(ref uint64, method string, args ...any) (any, error) {
+	resp, err := c.call(&Request{Op: "invoke", Ref: ref, Method: method, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// PostUserEvent posts a declared user event.
+func (c *Client) PostUserEvent(ref uint64, event string) error {
+	_, err := c.call(&Request{Op: "post", Ref: ref, Event: event})
+	return err
+}
+
+// Activate activates a trigger and returns its id.
+func (c *Client) Activate(ref uint64, trigger string, args ...any) (uint64, error) {
+	resp, err := c.call(&Request{Op: "activate", Ref: ref, Trigger: trigger, Args: args})
+	if err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Deactivate removes a trigger activation.
+func (c *Client) Deactivate(id uint64) error {
+	_, err := c.call(&Request{Op: "deactivate", ID: id})
+	return err
+}
+
+// ActiveTriggers lists activations on ref as raw JSON.
+func (c *Client) ActiveTriggers(ref uint64) (json.RawMessage, error) {
+	resp, err := c.call(&Request{Op: "triggers", Ref: ref})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// ClusterAdd adds ref to a cluster.
+func (c *Client) ClusterAdd(cluster string, ref uint64) error {
+	_, err := c.call(&Request{Op: "clusteradd", Cluster: cluster, Ref: ref})
+	return err
+}
+
+// ClusterScan lists a cluster's members.
+func (c *Client) ClusterScan(cluster string) ([]uint64, error) {
+	resp, err := c.call(&Request{Op: "scan", Cluster: cluster})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Refs, nil
+}

@@ -1,0 +1,310 @@
+// Package server exposes an Ode database to multiple concurrent client
+// applications over TCP, completing the §7 "global composite events"
+// story in live form: the paper's composite events "may span more than
+// one application" because TriggerStates live in the database — here,
+// several network clients interleave transactions against one Database
+// and jointly advance each other's trigger patterns.
+//
+// The protocol is newline-delimited JSON. Each connection is one session
+// holding at most one open transaction (the O++ execution model: a
+// client is a single-threaded application). Class definitions — Go
+// functions — cannot travel over the wire; the server binary links the
+// application's classes, exactly as an Ode application links the object
+// manager (§2).
+//
+// Request:  {"op":"invoke","ref":18,"method":"Buy","args":[100]}
+// Response: {"ok":true,"result":...}  or  {"ok":false,"error":"..."}
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ode/internal/core"
+	"ode/internal/storage"
+	"ode/internal/txn"
+)
+
+// Request is one client command.
+type Request struct {
+	Op      string          `json:"op"`
+	Class   string          `json:"class,omitempty"`
+	Ref     uint64          `json:"ref,omitempty"`
+	Method  string          `json:"method,omitempty"`
+	Trigger string          `json:"trigger,omitempty"`
+	Event   string          `json:"event,omitempty"`
+	Cluster string          `json:"cluster,omitempty"`
+	ID      uint64          `json:"id,omitempty"` // trigger id for deactivate
+	Args    []any           `json:"args,omitempty"`
+	Value   json.RawMessage `json:"value,omitempty"` // object payload for create
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK      bool            `json:"ok"`
+	Error   string          `json:"error,omitempty"`
+	Aborted bool            `json:"aborted,omitempty"` // txn rolled back (tabort/deadlock)
+	Ref     uint64          `json:"ref,omitempty"`
+	ID      uint64          `json:"id,omitempty"`
+	Refs    []uint64        `json:"refs,omitempty"`
+	Result  any             `json:"result,omitempty"`
+	Value   json.RawMessage `json:"value,omitempty"`
+}
+
+// Server serves one database to many connections.
+type Server struct {
+	db *core.Database
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New wraps db in a server.
+func New(db *core.Database) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Serving happens on background goroutines until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener, closes live connections (aborting their open
+// transactions), and waits for handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// session is one connection's state.
+type session struct {
+	db *core.Database
+	tx *txn.Txn
+}
+
+// serve runs the request loop for one connection.
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{db: s.db}
+	defer func() {
+		if sess.tx != nil && sess.tx.State() == txn.Active {
+			sess.tx.Abort()
+		}
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect or garbage
+		}
+		resp := sess.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func fail(err error) *Response {
+	r := &Response{Error: err.Error()}
+	if errors.Is(err, txn.ErrAborted) {
+		r.Aborted = true
+	}
+	return r
+}
+
+// handle dispatches one request.
+func (sess *session) handle(req *Request) *Response {
+	switch req.Op {
+	case "begin":
+		if sess.tx != nil && sess.tx.State() == txn.Active {
+			return fail(errors.New("transaction already open"))
+		}
+		sess.tx = sess.db.Begin()
+		return &Response{OK: true}
+	case "commit":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		err := sess.tx.Commit()
+		sess.tx = nil
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case "abort":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		err := sess.tx.Abort()
+		sess.tx = nil
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case "create":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		bc, ok := sess.db.ClassOf(req.Class)
+		if !ok {
+			return fail(fmt.Errorf("unknown class %q", req.Class))
+		}
+		val := bc.Def.NewInstance()
+		if len(req.Value) > 0 {
+			if err := json.Unmarshal(req.Value, val); err != nil {
+				return fail(fmt.Errorf("decode value: %w", err))
+			}
+		}
+		ref, err := sess.db.Create(sess.tx, req.Class, val)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Ref: uint64(ref.OID())}
+	case "get":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		v, err := sess.db.Get(sess.tx, core.RefFromOID(storage.OID(req.Ref)))
+		if err != nil {
+			return fail(err)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Value: raw}
+	case "invoke":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		ret, err := sess.db.Invoke(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Method, req.Args...)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Result: ret}
+	case "post":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		if err := sess.db.PostUserEvent(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Event); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case "activate":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		id, err := sess.db.Activate(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Trigger, req.Args...)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, ID: uint64(id.OID())}
+	case "deactivate":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		id := core.TriggerIDFromOID(storage.OID(req.ID))
+		if err := sess.db.Deactivate(sess.tx, id); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case "triggers":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		infos, err := sess.db.ActiveTriggers(sess.tx, core.RefFromOID(storage.OID(req.Ref)))
+		if err != nil {
+			return fail(err)
+		}
+		raw, err := json.Marshal(infos)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Value: raw}
+	case "clusteradd":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		if err := sess.db.ClusterAdd(sess.tx, req.Cluster, core.RefFromOID(storage.OID(req.Ref))); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+	case "scan":
+		if err := sess.needTx(); err != nil {
+			return fail(err)
+		}
+		var refs []uint64
+		err := sess.db.ClusterScan(sess.tx, req.Cluster, func(r core.Ref) error {
+			refs = append(refs, uint64(r.OID()))
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Refs: refs}
+	default:
+		return fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func (sess *session) needTx() error {
+	if sess.tx == nil || sess.tx.State() != txn.Active {
+		return errors.New("no open transaction (send begin first)")
+	}
+	return nil
+}

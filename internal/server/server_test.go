@@ -1,0 +1,364 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"ode/internal/core"
+	"ode/internal/storage/dali"
+)
+
+// CredCard is the §4 fixture, served over the network.
+type CredCard struct {
+	Holder   string
+	CredLim  float64
+	CurrBal  float64
+	GoodHist bool
+}
+
+func credCardClass() *core.Class {
+	return core.MustClass("CredCard",
+		core.Factory(func() any { return new(CredCard) }),
+		core.Method("Buy", func(ctx *core.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal += args[0].(float64)
+			return c.CurrBal, nil
+		}),
+		core.Method("PayBill", func(ctx *core.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CurrBal -= args[0].(float64)
+			return c.CurrBal, nil
+		}),
+		core.Method("RaiseLimit", func(ctx *core.Ctx, self any, args []any) (any, error) {
+			c := self.(*CredCard)
+			c.CredLim += args[0].(float64)
+			return nil, nil
+		}),
+		core.Events("after Buy", "after PayBill", "BigBuy"),
+		core.Mask("OverLimit", func(ctx *core.Ctx, self any, act *core.Activation) (bool, error) {
+			c := self.(*CredCard)
+			return c.CurrBal > c.CredLim, nil
+		}),
+		core.Mask("MoreCred", func(ctx *core.Ctx, self any, act *core.Activation) (bool, error) {
+			c := self.(*CredCard)
+			return c.CurrBal > 0.8*c.CredLim && c.GoodHist, nil
+		}),
+		core.Trigger("DenyCredit", "after Buy & OverLimit",
+			func(ctx *core.Ctx, self any, act *core.Activation) error {
+				ctx.TAbort()
+				return nil
+			},
+			core.Perpetual()),
+		core.Trigger("AutoRaiseLimit", "relative((after Buy & MoreCred()), after PayBill)",
+			func(ctx *core.Ctx, self any, act *core.Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "RaiseLimit", act.ArgFloat(0))
+				return err
+			}),
+	)
+}
+
+func startServer(t *testing.T) (addr string) {
+	t.Helper()
+	db, err := core.NewDatabase(dali.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(credCardClass()); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return addr
+}
+
+func dial(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientLifecycle(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Create("CredCard", &CredCard{Holder: "net", CredLim: 1000, GoodHist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ClusterAdd("cards", ref); err != nil {
+		t.Fatal(err)
+	}
+	ret, err := c.Invoke(ref, "Buy", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.(float64) != 100 {
+		t.Fatalf("Buy returned %v", ret)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	var card CredCard
+	if err := c.Get(ref, &card); err != nil {
+		t.Fatal(err)
+	}
+	if card.CurrBal != 100 || card.Holder != "net" {
+		t.Fatalf("card = %+v", card)
+	}
+	refs, err := c.ClusterScan("cards")
+	if err != nil || len(refs) != 1 || refs[0] != ref {
+		t.Fatalf("scan = %v, %v", refs, err)
+	}
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriggerAbortOverWire(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+
+	c.Begin()
+	ref, _ := c.Create("CredCard", &CredCard{CredLim: 100, GoodHist: true})
+	if _, err := c.Activate(ref, "DenyCredit"); err != nil {
+		t.Fatal(err)
+	}
+	c.Commit()
+
+	c.Begin()
+	if _, err := c.Invoke(ref, "Buy", 500); err != nil {
+		t.Fatal(err) // invoke succeeds; the doom lands at commit
+	}
+	err := c.Commit()
+	if !errors.Is(err, ErrRemoteAborted) {
+		t.Fatalf("commit over wire = %v, want ErrRemoteAborted", err)
+	}
+
+	c.Begin()
+	var card CredCard
+	c.Get(ref, &card)
+	c.Abort()
+	if card.CurrBal != 0 {
+		t.Fatalf("denied purchase persisted: %v", card.CurrBal)
+	}
+}
+
+func TestGlobalCompositeAcrossClients(t *testing.T) {
+	// The §7 scenario live: application A arms AutoRaiseLimit's pattern,
+	// application B completes it.
+	addr := startServer(t)
+	a := dial(t, addr)
+	b := dial(t, addr)
+
+	a.Begin()
+	ref, _ := a.Create("CredCard", &CredCard{CredLim: 1000, GoodHist: true})
+	if _, err := a.Activate(ref, "AutoRaiseLimit", 500); err != nil {
+		t.Fatal(err)
+	}
+	a.Commit()
+
+	a.Begin()
+	if _, err := a.Invoke(ref, "Buy", 900); err != nil { // arms
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	b.Begin()
+	if _, err := b.Invoke(ref, "PayBill", 100); err != nil { // fires
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	b.Begin()
+	var card CredCard
+	b.Get(ref, &card)
+	b.Abort()
+	if card.CredLim != 1500 {
+		t.Fatalf("cross-client composite did not fire: limit %v", card.CredLim)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+
+	// Ops without a transaction.
+	if _, err := c.Invoke(1, "Buy", 1); err == nil {
+		t.Fatal("invoke without begin succeeded")
+	}
+	if err := c.Commit(); err == nil {
+		t.Fatal("commit without begin succeeded")
+	}
+	// Double begin.
+	c.Begin()
+	if err := c.Begin(); err == nil {
+		t.Fatal("double begin succeeded")
+	}
+	// Unknown class / op-level errors surface as errors, not disconnects.
+	if _, err := c.Create("NoSuch", nil); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := c.Invoke(99999, "Buy", 1); err == nil {
+		t.Fatal("unknown ref accepted")
+	}
+	// The connection is still usable.
+	ref, err := c.Create("CredCard", &CredCard{CredLim: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref == 0 {
+		t.Fatal("zero ref")
+	}
+	c.Commit()
+}
+
+func TestDisconnectAbortsOpenTxn(t *testing.T) {
+	addr := startServer(t)
+	a := dial(t, addr)
+
+	a.Begin()
+	ref, _ := a.Create("CredCard", &CredCard{CredLim: 10})
+	a.Commit()
+
+	// Client b opens a txn, writes, and vanishes.
+	b := dial(t, addr)
+	b.Begin()
+	if _, err := b.Invoke(ref, "Buy", 5); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// Client a can still lock and read the object (b's locks released),
+	// and b's write is gone.
+	a.Begin()
+	var card CredCard
+	if err := a.Get(ref, &card); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort()
+	if card.CurrBal != 0 {
+		t.Fatalf("disconnected client's write persisted: %v", card.CurrBal)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr := startServer(t)
+	setup := dial(t, addr)
+	setup.Begin()
+	ref, err := setup.Create("CredCard", &CredCard{CredLim: 1e12, GoodHist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Commit()
+
+	const clients = 6
+	const perClient = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				for {
+					if err := c.Begin(); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := c.Invoke(ref, "Buy", 1); err != nil {
+						c.Abort()
+						if errors.Is(err, ErrRemoteAborted) {
+							continue
+						}
+						errs <- err
+						return
+					}
+					if err := c.Commit(); err != nil {
+						if errors.Is(err, ErrRemoteAborted) {
+							continue
+						}
+						errs <- err
+						return
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	check := dial(t, addr)
+	check.Begin()
+	var card CredCard
+	check.Get(ref, &card)
+	check.Abort()
+	if card.CurrBal != clients*perClient {
+		t.Fatalf("balance = %v, want %d", card.CurrBal, clients*perClient)
+	}
+}
+
+func TestActiveTriggersOverWire(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.Begin()
+	ref, _ := c.Create("CredCard", &CredCard{CredLim: 100})
+	id, err := c.Activate(ref, "DenyCredit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.ActiveTriggers(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []map[string]any
+	if err := json.Unmarshal(raw, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0]["Trigger"] != "DenyCredit" {
+		t.Fatalf("triggers = %s", raw)
+	}
+	if err := c.Deactivate(id); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = c.ActiveTriggers(ref)
+	infos = nil
+	json.Unmarshal(raw, &infos)
+	if len(infos) != 0 {
+		t.Fatalf("after deactivate: %s", raw)
+	}
+	c.Commit()
+}

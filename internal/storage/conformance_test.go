@@ -1,0 +1,119 @@
+package storage_test
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"ode/internal/storage"
+	"ode/internal/storage/dali"
+	"ode/internal/storage/eos"
+)
+
+// TestManagersBehaveIdentically is the storage-seam property behind §5.6:
+// the object manager runs unchanged over EOS and Dali. For any random
+// operation script, both managers must produce identical visible state.
+func TestManagersBehaveIdentically(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := dali.New()
+		defer d.Close()
+		e, err := eos.Open(filepath.Join(t.TempDir(), "conf.eos"), eos.Options{CacheSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+
+		mgrs := []storage.Manager{d, e}
+		model := make(map[storage.OID][]byte)
+		var oids []storage.OID
+
+		for txn := uint64(1); txn <= 30; txn++ {
+			var ops []storage.Op
+			nops := r.Intn(4) + 1
+			for i := 0; i < nops; i++ {
+				switch {
+				case len(oids) == 0 || r.Intn(3) == 0:
+					// Allocate: reserve from both; IDs must agree since
+					// both allocate densely from 1.
+					oidD, _ := d.ReserveOID()
+					oidE, _ := e.ReserveOID()
+					if oidD != oidE {
+						t.Logf("OID divergence: %d vs %d", oidD, oidE)
+						return false
+					}
+					data := make([]byte, r.Intn(6000)) // crosses MaxInline sometimes
+					r.Read(data)
+					ops = append(ops, storage.Op{Kind: storage.OpWrite, OID: oidD, Data: data})
+					oids = append(oids, oidD)
+				case r.Intn(4) == 0:
+					oid := oids[r.Intn(len(oids))]
+					ops = append(ops, storage.Op{Kind: storage.OpFree, OID: oid})
+				default:
+					oid := oids[r.Intn(len(oids))]
+					data := make([]byte, r.Intn(6000))
+					r.Read(data)
+					ops = append(ops, storage.Op{Kind: storage.OpWrite, OID: oid, Data: data})
+				}
+			}
+			for _, m := range mgrs {
+				if err := m.ApplyCommit(txn, ops); err != nil {
+					t.Logf("%s: ApplyCommit: %v", m.Name(), err)
+					return false
+				}
+			}
+			// Apply to the model in order (later ops win).
+			for _, op := range ops {
+				if op.Kind == storage.OpWrite {
+					model[op.OID] = append([]byte(nil), op.Data...)
+				} else {
+					delete(model, op.OID)
+				}
+			}
+		}
+
+		// Verify both managers against the model.
+		for _, m := range mgrs {
+			for oid, want := range model {
+				got, err := m.Read(oid)
+				if err != nil {
+					t.Logf("%s: read %d: %v", m.Name(), oid, err)
+					return false
+				}
+				if !bytes.Equal(got, want) {
+					t.Logf("%s: oid %d mismatch (%d vs %d bytes)", m.Name(), oid, len(got), len(want))
+					return false
+				}
+			}
+			count := 0
+			if err := m.Iterate(func(oid storage.OID, data []byte) error {
+				if want, ok := model[oid]; !ok || !bytes.Equal(data, want) {
+					t.Logf("%s: iterate saw unexpected oid %d", m.Name(), oid)
+				}
+				count++
+				return nil
+			}); err != nil {
+				return false
+			}
+			if count != len(model) {
+				t.Logf("%s: iterated %d objects, model has %d", m.Name(), count, len(model))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if storage.OpWrite.String() != "write" || storage.OpFree.String() != "free" {
+		t.Fatal("OpKind strings")
+	}
+	if storage.OpKind(77).String() != "OpKind(77)" {
+		t.Fatal("unknown OpKind string")
+	}
+}

@@ -1,0 +1,266 @@
+package dali
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ode/internal/storage"
+)
+
+func commitWrite(t *testing.T, m *Manager, txn uint64, oid storage.OID, data []byte) {
+	t.Helper()
+	if err := m.ApplyCommit(txn, []storage.Op{{Kind: storage.OpWrite, OID: oid, Data: data}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := New()
+	oid, err := m.ReserveOID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitWrite(t, m, 1, oid, []byte("in memory"))
+	got, err := m.Read(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "in memory" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestReadIsACopy(t *testing.T) {
+	m := New()
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("immutable"))
+	got, _ := m.Read(oid)
+	got[0] = 'X'
+	again, _ := m.Read(oid)
+	if string(again) != "immutable" {
+		t.Fatal("Read returned aliased storage")
+	}
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	m := New()
+	oid, _ := m.ReserveOID()
+	data := []byte("original")
+	commitWrite(t, m, 1, oid, data)
+	data[0] = 'X'
+	got, _ := m.Read(oid)
+	if string(got) != "original" {
+		t.Fatal("ApplyCommit aliased caller's buffer")
+	}
+}
+
+func TestFree(t *testing.T) {
+	m := New()
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("x"))
+	if err := m.ApplyCommit(2, []storage.Op{{Kind: storage.OpFree, OID: oid}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists(oid) {
+		t.Fatal("freed object exists")
+	}
+	if _, err := m.Read(oid); err == nil {
+		t.Fatal("read of freed object succeeded")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestIterate(t *testing.T) {
+	m := New()
+	want := map[storage.OID]string{}
+	for i := 0; i < 10; i++ {
+		oid, _ := m.ReserveOID()
+		want[oid] = fmt.Sprintf("v%d", i)
+		commitWrite(t, m, uint64(i), oid, []byte(want[oid]))
+	}
+	got := map[storage.OID]string{}
+	if err := m.Iterate(func(oid storage.OID, data []byte) error {
+		got[oid] = string(data)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for oid, v := range want {
+		if got[oid] != v {
+			t.Fatalf("oid %d: %q vs %q", oid, got[oid], v)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dali.snap")
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("checkpointed"))
+	big := bytes.Repeat([]byte("large "), 10000)
+	oid2, _ := m.ReserveOID()
+	commitWrite(t, m, 2, oid2, big)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	got, err := m2.Read(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "checkpointed" {
+		t.Fatalf("read %q", got)
+	}
+	got2, err := m2.Read(oid2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, big) {
+		t.Fatal("large object corrupted through snapshot")
+	}
+	// OID allocation continues past snapshot contents.
+	next, _ := m2.ReserveOID()
+	if next == oid || next == oid2 {
+		t.Fatalf("OID %d reused after snapshot load", next)
+	}
+}
+
+func TestVolatileCheckpointIsNoop(t *testing.T) {
+	m := New()
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("x"))
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("volatile checkpoint: %v", err)
+	}
+}
+
+func TestUncheckpointedDataLostOnReopen(t *testing.T) {
+	// MM-Ode semantics: memory is the store; a snapshot only captures
+	// what Checkpoint wrote.
+	path := filepath.Join(t.TempDir(), "dali.snap")
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("kept"))
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	oid2, _ := m.ReserveOID()
+	commitWrite(t, m, 2, oid2, []byte("lost"))
+	m.Close()
+
+	m2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !m2.Exists(oid) {
+		t.Fatal("checkpointed object missing")
+	}
+	if m2.Exists(oid2) {
+		t.Fatal("post-checkpoint object survived (should be volatile)")
+	}
+}
+
+func TestClosedRejectsOps(t *testing.T) {
+	m := New()
+	m.Close()
+	if _, err := m.ReserveOID(); err == nil {
+		t.Fatal("ReserveOID after close")
+	}
+	if err := m.ApplyCommit(1, nil); err == nil {
+		t.Fatal("ApplyCommit after close")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "dali" {
+		t.Fatal("name")
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.snap")
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("payload"))
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	// Flip a payload byte: the CRC must catch it at load.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-6] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestEmptySnapshotFileLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.snap")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatalf("empty snapshot rejected: %v", err)
+	}
+	defer m.Close()
+	if oid, _ := m.ReserveOID(); oid != 1 {
+		t.Fatalf("first OID = %d", oid)
+	}
+}
+
+func TestUnknownOpKindRejected(t *testing.T) {
+	m := New()
+	defer m.Close()
+	if err := m.ApplyCommit(1, []storage.Op{{Kind: storage.OpKind(99)}}); err == nil {
+		t.Fatal("unknown op kind accepted")
+	}
+}
+
+func TestIterateStopsOnError(t *testing.T) {
+	m := New()
+	defer m.Close()
+	for i := 0; i < 5; i++ {
+		oid, _ := m.ReserveOID()
+		commitWrite(t, m, uint64(i), oid, []byte("x"))
+	}
+	count := 0
+	sentinel := fmt.Errorf("stop")
+	err := m.Iterate(func(storage.OID, []byte) error {
+		count++
+		if count == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || count != 2 {
+		t.Fatalf("err=%v count=%d", err, count)
+	}
+}

@@ -1,0 +1,120 @@
+package eos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"ode/internal/storage"
+)
+
+// TestCrashCyclesProperty drives the store through random committed
+// batches interleaved with random crashes (reopen without Close, leaving
+// dirty pages unflushed and the WAL as the only source of truth) and
+// occasional checkpoints. After every reopen, the visible state must
+// equal the model of all committed batches.
+func TestCrashCyclesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("crash-%d.eos", seed))
+		m, err := Open(path, Options{CacheSize: 4, NoAutoCheckpoint: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[storage.OID][]byte{}
+		var oids []storage.OID
+		txn := uint64(1)
+
+		verify := func() bool {
+			for oid, want := range model {
+				got, err := m.Read(oid)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Logf("seed %d: oid %d mismatch after cycle: err=%v", seed, oid, err)
+					return false
+				}
+			}
+			count := 0
+			m.Iterate(func(storage.OID, []byte) error { count++; return nil })
+			if count != len(model) {
+				t.Logf("seed %d: %d live objects, model has %d", seed, count, len(model))
+				return false
+			}
+			return true
+		}
+
+		for step := 0; step < 30; step++ {
+			switch r.Intn(10) {
+			case 0: // crash: reopen without Close
+				m2, err := Open(path, Options{CacheSize: 4, NoAutoCheckpoint: true})
+				if err != nil {
+					t.Logf("seed %d: reopen after crash: %v", seed, err)
+					return false
+				}
+				m = m2
+				if !verify() {
+					return false
+				}
+			case 1: // clean close + reopen
+				if err := m.Close(); err != nil {
+					t.Logf("seed %d: close: %v", seed, err)
+					return false
+				}
+				m2, err := Open(path, Options{CacheSize: 4, NoAutoCheckpoint: true})
+				if err != nil {
+					return false
+				}
+				m = m2
+				if !verify() {
+					return false
+				}
+			case 2: // checkpoint
+				if err := m.Checkpoint(); err != nil {
+					t.Logf("seed %d: checkpoint: %v", seed, err)
+					return false
+				}
+			default: // committed batch
+				var ops []storage.Op
+				for i := 0; i < r.Intn(4)+1; i++ {
+					switch {
+					case len(oids) == 0 || r.Intn(3) == 0:
+						oid, err := m.ReserveOID()
+						if err != nil {
+							return false
+						}
+						data := make([]byte, r.Intn(5000))
+						r.Read(data)
+						ops = append(ops, storage.Op{Kind: storage.OpWrite, OID: oid, Data: data})
+						oids = append(oids, oid)
+					case r.Intn(4) == 0:
+						ops = append(ops, storage.Op{Kind: storage.OpFree, OID: oids[r.Intn(len(oids))]})
+					default:
+						data := make([]byte, r.Intn(5000))
+						r.Read(data)
+						ops = append(ops, storage.Op{Kind: storage.OpWrite, OID: oids[r.Intn(len(oids))], Data: data})
+					}
+				}
+				if err := m.ApplyCommit(txn, ops); err != nil {
+					t.Logf("seed %d: apply: %v", seed, err)
+					return false
+				}
+				txn++
+				for _, op := range ops {
+					if op.Kind == storage.OpWrite {
+						model[op.OID] = append([]byte(nil), op.Data...)
+					} else {
+						delete(model, op.OID)
+					}
+				}
+			}
+		}
+		ok := verify()
+		m.Close()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

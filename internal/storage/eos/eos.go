@@ -1,0 +1,799 @@
+// Package eos is the disk-based storage manager: the analog of the EOS
+// store beneath regular Ode (§2, §5.6). It provides a slotted-page file
+// with a fixed-capacity LRU buffer pool, overflow chains for large
+// objects, and crash recovery via the redo-only write-ahead log in
+// internal/wal.
+//
+// Commit protocol: ApplyCommit appends the batch plus a commit record to
+// the WAL and fsyncs once (log-before-apply), then applies the ops to the
+// buffer pool; dirty pages reach the file lazily on eviction or at
+// Checkpoint. Recovery replays committed WAL batches over the page file;
+// replay is idempotent (records carry full after-images), so any prefix of
+// page flushes before the crash is harmless.
+package eos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"ode/internal/storage"
+	"ode/internal/wal"
+)
+
+const (
+	headerMagic = "ODE-EOS1"
+	// DefaultCacheSize is the default buffer-pool capacity in pages.
+	DefaultCacheSize = 256
+	// autoCheckpointBytes triggers a checkpoint when the WAL grows past
+	// this size, bounding recovery time.
+	autoCheckpointBytes = 8 << 20
+)
+
+// loc records where an object lives.
+type loc struct {
+	pageNo   uint32
+	slot     uint16
+	overflow bool
+}
+
+// cached is one buffer-pool frame.
+type cached struct {
+	no    uint32
+	buf   page
+	dirty bool
+	// prev/next form the intrusive LRU list (front = most recent).
+	prev, next *cached
+}
+
+// Manager is the disk-based storage manager.
+type Manager struct {
+	mu        sync.Mutex
+	f         *os.File
+	log       *wal.Log
+	pageCount uint32 // includes header page 0
+
+	cache    map[uint32]*cached
+	lruHead  *cached // most recently used
+	lruTail  *cached // least recently used
+	lruLen   int
+	capacity int
+
+	dir       map[storage.OID]loc
+	freeSpace map[uint32]int // slotted page -> free bytes
+	freePages []uint32
+	nextOID   storage.OID
+
+	stats      storage.Stats
+	closed     bool
+	noAutoCkpt bool
+}
+
+// Options configures Open.
+type Options struct {
+	// CacheSize is the buffer-pool capacity in pages (default
+	// DefaultCacheSize).
+	CacheSize int
+	// NoAutoCheckpoint disables the WAL-size-triggered checkpoint
+	// (benchmarks use this to isolate costs).
+	NoAutoCheckpoint bool
+}
+
+var errClosed = errors.New("eos: manager closed")
+
+// Open opens (creating if needed) the store at path. The WAL lives at
+// path+".wal". Recovery runs before Open returns.
+func Open(path string, opts Options) (*Manager, error) {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("eos: open: %w", err)
+	}
+	m := &Manager{
+		f:          f,
+		cache:      make(map[uint32]*cached),
+		capacity:   opts.CacheSize,
+		dir:        make(map[storage.OID]loc),
+		freeSpace:  make(map[uint32]int),
+		nextOID:    1,
+		noAutoCkpt: opts.NoAutoCheckpoint,
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("eos: size: %w", err)
+	}
+	if size == 0 {
+		if err := m.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		m.pageCount = 1
+	} else {
+		if size%PageSize != 0 {
+			// A torn page append; trim to whole pages.
+			size -= size % PageSize
+			if err := f.Truncate(size); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("eos: trim torn page: %w", err)
+			}
+		}
+		m.pageCount = uint32(size / PageSize)
+		if err := m.readHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	repaired, err := m.buildDirectory()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	m.log, err = wal.Open(path + ".wal")
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := m.recover(repaired); err != nil {
+		m.log.Close()
+		f.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Name implements storage.Manager.
+func (m *Manager) Name() string { return "eos" }
+
+// writeHeader writes page 0: magic + nextOID.
+func (m *Manager) writeHeader() error {
+	p := make(page, PageSize)
+	copy(p, headerMagic)
+	putUint64(p[8:16], uint64(m.nextOID))
+	if _, err := m.f.WriteAt(p, 0); err != nil {
+		return fmt.Errorf("eos: write header: %w", err)
+	}
+	return nil
+}
+
+func (m *Manager) readHeader() error {
+	p := make(page, PageSize)
+	if _, err := m.f.ReadAt(p, 0); err != nil {
+		return fmt.Errorf("eos: read header: %w", err)
+	}
+	if string(p[:8]) != headerMagic {
+		return fmt.Errorf("eos: bad magic %q (not an Ode EOS store)", p[:8])
+	}
+	m.nextOID = storage.OID(getUint64(p[8:16]))
+	if m.nextOID == 0 {
+		m.nextOID = 1
+	}
+	return nil
+}
+
+// buildDirectory scans every page to rebuild the OID directory, the
+// free-space map, and the free-page list.
+//
+// A crash can interrupt a relocation after only one of its two pages
+// reached disk, leaving an OID visible at two locations (the stale slot's
+// removal was never flushed). Any such inconsistency postdates the last
+// checkpoint — checkpoints flush a consistent image — so the WAL is
+// guaranteed to hold the object's authoritative after-image. The rebuild
+// therefore drops *every* copy of a duplicated OID and lets WAL replay
+// reinstate it; recover() checkpoints afterwards so the repair is
+// durable. It returns whether any repair happened.
+func (m *Manager) buildDirectory() (repaired bool, err error) {
+	locs := make(map[storage.OID][]loc)
+	buf := make(page, PageSize)
+	for no := uint32(1); no < m.pageCount; no++ {
+		if _, err := m.f.ReadAt(buf, int64(no)*PageSize); err != nil {
+			return false, fmt.Errorf("eos: scan page %d: %w", no, err)
+		}
+		switch buf.kind() {
+		case kindSlotted:
+			for i := 0; i < buf.nslots(); i++ {
+				oid, _, _ := buf.slot(i)
+				if oid != 0 {
+					locs[storage.OID(oid)] = append(locs[storage.OID(oid)], loc{pageNo: no, slot: uint16(i)})
+					if storage.OID(oid) >= m.nextOID {
+						m.nextOID = storage.OID(oid) + 1
+					}
+				}
+			}
+			if buf.liveCount() == 0 {
+				m.freePages = append(m.freePages, no)
+			} else {
+				m.freeSpace[no] = buf.freeSpace()
+			}
+		case kindOverflowHead:
+			oid := storage.OID(buf.ovOID())
+			locs[oid] = append(locs[oid], loc{pageNo: no, overflow: true})
+			if oid >= m.nextOID {
+				m.nextOID = oid + 1
+			}
+		case kindOverflowCont:
+			// Reached via its head; nothing to record.
+		case kindFree:
+			m.freePages = append(m.freePages, no)
+		default:
+			return false, fmt.Errorf("eos: page %d has unknown kind %d", no, buf.kind())
+		}
+	}
+	for oid, ls := range locs {
+		if len(ls) == 1 {
+			m.dir[oid] = ls[0]
+			continue
+		}
+		// Torn relocation: purge every copy; replay re-creates the
+		// object from its logged after-image.
+		repaired = true
+		for _, l := range ls {
+			if err := m.purgeLoc(oid, l); err != nil {
+				return repaired, fmt.Errorf("eos: purge duplicate oid %d: %w", oid, err)
+			}
+		}
+	}
+	return repaired, nil
+}
+
+// purgeLoc removes one possibly-stale copy of oid during directory
+// repair. Unlike removeLoc it defends against pages that were reused
+// since the stale location was written: slots are only cleared if they
+// still name oid, overflow walks stop at pages that no longer belong to
+// oid's chain, and cycles through stale next-pointers are cut.
+func (m *Manager) purgeLoc(oid storage.OID, l loc) error {
+	if !l.overflow {
+		p, err := m.getPage(l.pageNo)
+		if err != nil {
+			return err
+		}
+		if p.buf.kind() != kindSlotted || int(l.slot) >= p.buf.nslots() {
+			return nil // page already freed or reshaped
+		}
+		if s, _, _ := p.buf.slot(int(l.slot)); s != uint64(oid) {
+			return nil // slot reused by another object
+		}
+		p.buf.remove(int(l.slot))
+		m.markDirty(p)
+		if p.buf.liveCount() == 0 {
+			delete(m.freeSpace, l.pageNo)
+			p.buf.init(kindFree)
+			m.addFreePage(l.pageNo)
+		} else {
+			m.freeSpace[l.pageNo] = p.buf.freeSpace()
+		}
+		return nil
+	}
+	visited := make(map[uint32]bool)
+	no := l.pageNo
+	for no != 0 && !visited[no] {
+		visited[no] = true
+		p, err := m.getPage(no)
+		if err != nil {
+			return err
+		}
+		k := p.buf.kind()
+		if (k != kindOverflowHead && k != kindOverflowCont) || p.buf.ovOID() != uint64(oid) {
+			return nil // chain page reused; stop here
+		}
+		next := uint32(p.buf.next())
+		p.buf.init(kindFree)
+		m.markDirty(p)
+		delete(m.freeSpace, no)
+		m.addFreePage(no)
+		no = next
+	}
+	return nil
+}
+
+// addFreePage appends a page to the free list exactly once.
+func (m *Manager) addFreePage(no uint32) {
+	for _, f := range m.freePages {
+		if f == no {
+			return
+		}
+	}
+	m.freePages = append(m.freePages, no)
+}
+
+// recover replays committed WAL batches, then checkpoints to truncate the
+// log. force checkpoints even without replayed batches (directory repair
+// must be made durable).
+func (m *Manager) recover(force bool) error {
+	pending := make(map[uint64][]storage.Op)
+	replayed := force
+	err := m.log.Scan(func(_ wal.LSN, rec *wal.Record) error {
+		switch rec.Type {
+		case wal.RecUpdate, wal.RecAllocate:
+			data := append([]byte(nil), rec.Data...)
+			pending[rec.Txn] = append(pending[rec.Txn], storage.Op{Kind: storage.OpWrite, OID: storage.OID(rec.OID), Data: data})
+		case wal.RecFree:
+			pending[rec.Txn] = append(pending[rec.Txn], storage.Op{Kind: storage.OpFree, OID: storage.OID(rec.OID)})
+		case wal.RecCommit:
+			for _, op := range pending[rec.Txn] {
+				if err := m.applyOp(op); err != nil {
+					return err
+				}
+			}
+			delete(pending, rec.Txn)
+			replayed = true
+		case wal.RecCheckpoint:
+			// Informational only under redo-only logging.
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("eos: recovery: %w", err)
+	}
+	if replayed {
+		return m.checkpointLocked()
+	}
+	return nil
+}
+
+// ReserveOID implements storage.Manager.
+func (m *Manager) ReserveOID() (storage.OID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return storage.InvalidOID, errClosed
+	}
+	oid := m.nextOID
+	m.nextOID++
+	return oid, nil
+}
+
+// Read implements storage.Manager.
+func (m *Manager) Read(oid storage.OID) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	l, ok := m.dir[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: oid %d", storage.ErrNotFound, oid)
+	}
+	m.stats.Reads++
+	if !l.overflow {
+		p, err := m.getPage(l.pageNo)
+		if err != nil {
+			return nil, err
+		}
+		return p.buf.readSlot(int(l.slot)), nil
+	}
+	return m.readOverflow(l.pageNo)
+}
+
+func (m *Manager) readOverflow(head uint32) ([]byte, error) {
+	var out []byte
+	no := head
+	for no != 0 {
+		p, err := m.getPage(no)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p.buf.ovData()...)
+		no = uint32(p.buf.next())
+	}
+	return out, nil
+}
+
+// Exists implements storage.Manager.
+func (m *Manager) Exists(oid storage.OID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.dir[oid]
+	return ok
+}
+
+// ApplyCommit implements storage.Manager.
+func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	// 1. Log-before-apply: batch + commit record, one fsync.
+	recs := make([]wal.Record, 0, len(ops)+1)
+	var logBytes uint64
+	for _, op := range ops {
+		switch op.Kind {
+		case storage.OpWrite:
+			recs = append(recs, wal.Record{Type: wal.RecUpdate, Txn: txn, OID: uint64(op.OID), Data: op.Data})
+			logBytes += uint64(len(op.Data)) + 29
+		case storage.OpFree:
+			recs = append(recs, wal.Record{Type: wal.RecFree, Txn: txn, OID: uint64(op.OID)})
+			logBytes += 29
+		default:
+			return fmt.Errorf("eos: unknown op kind %v", op.Kind)
+		}
+	}
+	recs = append(recs, wal.Record{Type: wal.RecCommit, Txn: txn})
+	if err := m.log.AppendBatch(recs); err != nil {
+		return err
+	}
+	m.stats.LogBytes += logBytes
+
+	// 2. Apply to the buffer pool.
+	for _, op := range ops {
+		if err := m.applyOp(op); err != nil {
+			return err
+		}
+	}
+	if !m.noAutoCkpt && m.log.Size() > autoCheckpointBytes {
+		return m.checkpointLocked()
+	}
+	return nil
+}
+
+func (m *Manager) applyOp(op storage.Op) error {
+	switch op.Kind {
+	case storage.OpWrite:
+		m.stats.Writes++
+		if op.OID >= m.nextOID {
+			m.nextOID = op.OID + 1
+		}
+		return m.write(op.OID, op.Data)
+	case storage.OpFree:
+		m.stats.Frees++
+		return m.free(op.OID)
+	default:
+		return fmt.Errorf("eos: unknown op kind %v", op.Kind)
+	}
+}
+
+func (m *Manager) write(oid storage.OID, data []byte) error {
+	if l, ok := m.dir[oid]; ok {
+		if !l.overflow && len(data) <= MaxInline {
+			p, err := m.getPage(l.pageNo)
+			if err != nil {
+				return err
+			}
+			if p.buf.writeInPlace(int(l.slot), data) {
+				m.markDirty(p)
+				return nil
+			}
+		}
+		if err := m.removeLoc(oid, l); err != nil {
+			return err
+		}
+	}
+	return m.insert(oid, data)
+}
+
+func (m *Manager) insert(oid storage.OID, data []byte) error {
+	if len(data) > MaxInline {
+		return m.insertOverflow(oid, data)
+	}
+	// First fit over pages with known free space.
+	var target uint32
+	for no, free := range m.freeSpace {
+		if free >= len(data) {
+			target = no
+			break
+		}
+	}
+	if target == 0 {
+		no, err := m.allocPage(kindSlotted)
+		if err != nil {
+			return err
+		}
+		target = no
+	}
+	p, err := m.getPage(target)
+	if err != nil {
+		return err
+	}
+	slot, ok := p.buf.insert(uint64(oid), data)
+	if !ok {
+		return fmt.Errorf("eos: page %d advertised space but insert failed (oid %d, %d bytes)", target, oid, len(data))
+	}
+	m.markDirty(p)
+	m.dir[oid] = loc{pageNo: target, slot: uint16(slot)}
+	m.freeSpace[target] = p.buf.freeSpace()
+	return nil
+}
+
+func (m *Manager) insertOverflow(oid storage.OID, data []byte) error {
+	var head, prev uint32
+	for off := 0; off < len(data) || off == 0; off += overflowCapacity {
+		end := off + overflowCapacity
+		if end > len(data) {
+			end = len(data)
+		}
+		kind := byte(kindOverflowCont)
+		if off == 0 {
+			kind = kindOverflowHead
+		}
+		no, err := m.allocPage(kind)
+		if err != nil {
+			return err
+		}
+		p, err := m.getPage(no)
+		if err != nil {
+			return err
+		}
+		p.buf.init(kind)
+		p.buf.setOvOID(uint64(oid))
+		p.buf.setOvData(data[off:end])
+		m.markDirty(p)
+		if off == 0 {
+			head = no
+		} else {
+			pp, err := m.getPage(prev)
+			if err != nil {
+				return err
+			}
+			pp.buf.setNext(uint64(no))
+			m.markDirty(pp)
+		}
+		prev = no
+	}
+	m.dir[oid] = loc{pageNo: head, overflow: true}
+	return nil
+}
+
+func (m *Manager) free(oid storage.OID) error {
+	l, ok := m.dir[oid]
+	if !ok {
+		return nil // idempotent under replay
+	}
+	return m.removeLoc(oid, l)
+}
+
+func (m *Manager) removeLoc(oid storage.OID, l loc) error {
+	delete(m.dir, oid)
+	if !l.overflow {
+		p, err := m.getPage(l.pageNo)
+		if err != nil {
+			return err
+		}
+		p.buf.remove(int(l.slot))
+		m.markDirty(p)
+		if p.buf.liveCount() == 0 {
+			delete(m.freeSpace, l.pageNo)
+			p.buf.init(kindFree)
+			m.freePages = append(m.freePages, l.pageNo)
+		} else {
+			m.freeSpace[l.pageNo] = p.buf.freeSpace()
+		}
+		return nil
+	}
+	no := l.pageNo
+	for no != 0 {
+		p, err := m.getPage(no)
+		if err != nil {
+			return err
+		}
+		next := uint32(p.buf.next())
+		p.buf.init(kindFree)
+		m.markDirty(p)
+		m.freePages = append(m.freePages, no)
+		no = next
+	}
+	return nil
+}
+
+// allocPage returns a usable page number, reusing freed pages first.
+func (m *Manager) allocPage(kind byte) (uint32, error) {
+	if n := len(m.freePages); n > 0 {
+		no := m.freePages[n-1]
+		m.freePages = m.freePages[:n-1]
+		p, err := m.getPage(no)
+		if err != nil {
+			return 0, err
+		}
+		p.buf.init(kind)
+		m.markDirty(p)
+		if kind == kindSlotted {
+			m.freeSpace[no] = p.buf.freeSpace()
+		}
+		return no, nil
+	}
+	no := m.pageCount
+	m.pageCount++
+	c := &cached{no: no, buf: make(page, PageSize)}
+	c.buf.init(kind)
+	c.dirty = true
+	m.insertCache(c)
+	if kind == kindSlotted {
+		m.freeSpace[no] = c.buf.freeSpace()
+	}
+	if err := m.evictIfNeeded(); err != nil {
+		return 0, err
+	}
+	return no, nil
+}
+
+// --- buffer pool ----------------------------------------------------------
+
+func (m *Manager) getPage(no uint32) (*cached, error) {
+	if c, ok := m.cache[no]; ok {
+		m.stats.CacheHits++
+		m.lruMoveFront(c)
+		return c, nil
+	}
+	buf := make(page, PageSize)
+	if _, err := m.f.ReadAt(buf, int64(no)*PageSize); err != nil {
+		return nil, fmt.Errorf("eos: read page %d: %w", no, err)
+	}
+	m.stats.PageReads++
+	c := &cached{no: no, buf: buf}
+	m.insertCache(c)
+	if err := m.evictIfNeeded(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (m *Manager) markDirty(c *cached) { c.dirty = true }
+
+func (m *Manager) insertCache(c *cached) {
+	m.cache[c.no] = c
+	c.next = m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = c
+	}
+	m.lruHead = c
+	if m.lruTail == nil {
+		m.lruTail = c
+	}
+	m.lruLen++
+}
+
+func (m *Manager) lruMoveFront(c *cached) {
+	if m.lruHead == c {
+		return
+	}
+	// Unlink.
+	if c.prev != nil {
+		c.prev.next = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	}
+	if m.lruTail == c {
+		m.lruTail = c.prev
+	}
+	// Relink at front.
+	c.prev = nil
+	c.next = m.lruHead
+	if m.lruHead != nil {
+		m.lruHead.prev = c
+	}
+	m.lruHead = c
+}
+
+func (m *Manager) evictIfNeeded() error {
+	for m.lruLen > m.capacity {
+		victim := m.lruTail
+		if victim == nil {
+			return nil
+		}
+		if victim.dirty {
+			if err := m.flushPage(victim); err != nil {
+				return err
+			}
+		}
+		// Unlink tail.
+		m.lruTail = victim.prev
+		if m.lruTail != nil {
+			m.lruTail.next = nil
+		} else {
+			m.lruHead = nil
+		}
+		delete(m.cache, victim.no)
+		m.lruLen--
+	}
+	return nil
+}
+
+func (m *Manager) flushPage(c *cached) error {
+	if _, err := m.f.WriteAt(c.buf, int64(c.no)*PageSize); err != nil {
+		return fmt.Errorf("eos: flush page %d: %w", c.no, err)
+	}
+	m.stats.PageWrites++
+	c.dirty = false
+	return nil
+}
+
+// --- iteration, checkpoint, close ------------------------------------------
+
+// Iterate implements storage.Manager.
+func (m *Manager) Iterate(fn func(storage.OID, []byte) error) error {
+	m.mu.Lock()
+	oids := make([]storage.OID, 0, len(m.dir))
+	for oid := range m.dir {
+		oids = append(oids, oid)
+	}
+	m.mu.Unlock()
+	for _, oid := range oids {
+		data, err := m.Read(oid)
+		if errors.Is(err, storage.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(oid, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint implements storage.Manager: flush all dirty pages and the
+// header, fsync the file, then truncate the WAL.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	return m.checkpointLocked()
+}
+
+func (m *Manager) checkpointLocked() error {
+	for c := m.lruHead; c != nil; c = c.next {
+		if c.dirty {
+			if err := m.flushPage(c); err != nil {
+				return err
+			}
+		}
+	}
+	if err := m.writeHeader(); err != nil {
+		return err
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("eos: checkpoint sync: %w", err)
+	}
+	return m.log.Truncate()
+}
+
+// Stats implements storage.Manager.
+func (m *Manager) Stats() storage.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close checkpoints and closes the store.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	ckErr := m.checkpointLocked()
+	logErr := m.log.Close()
+	fErr := m.f.Close()
+	m.closed = true
+	if ckErr != nil {
+		return ckErr
+	}
+	if logErr != nil {
+		return logErr
+	}
+	return fErr
+}
+
+// --- small helpers ----------------------------------------------------------
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,235 @@
+package eos
+
+import "encoding/binary"
+
+// Page layout (PageSize bytes, little endian).
+//
+// Slotted page (kindSlotted):
+//
+//	off 0:  u8  kind
+//	off 2:  u16 nslots
+//	off 4:  u16 dataEnd        end of the used data region
+//	off 16: object data, growing upward from off 16
+//	tail:   slot entries, growing downward; entry i occupies the 12 bytes
+//	        at PageSize-12*(i+1): u64 oid | u16 off | u16 len.
+//	        A slot with oid 0 is a tombstone available for reuse.
+//
+// Overflow pages (kindOverflowHead / kindOverflowCont) hold one large
+// object as a chain:
+//
+//	off 0:  u8  kind
+//	off 2:  u16 used           data bytes used in this page
+//	off 8:  u64 next           next chain page number, 0 = end
+//	off 16: u64 oid            owning object (head and continuation)
+//	off 24: data
+const (
+	// PageSize is the fixed page size of the store file.
+	PageSize = 4096
+
+	pageHeaderSize     = 16
+	slotSize           = 12
+	overflowHeaderSize = 24
+
+	// MaxInline is the largest object stored in a slotted page; larger
+	// objects go to an overflow chain.
+	MaxInline = PageSize - pageHeaderSize - slotSize
+
+	// overflowCapacity is the data capacity of one overflow page.
+	overflowCapacity = PageSize - overflowHeaderSize
+)
+
+const (
+	kindFree         = 0
+	kindSlotted      = 1
+	kindOverflowHead = 2
+	kindOverflowCont = 3
+)
+
+// page is a byte-slice view of one PageSize page.
+type page []byte
+
+func newSlottedPage() page {
+	p := make(page, PageSize)
+	p.init(kindSlotted)
+	return p
+}
+
+func (p page) init(kind byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	p[0] = kind
+	if kind == kindSlotted {
+		p.setDataEnd(pageHeaderSize)
+	}
+}
+
+func (p page) kind() byte { return p[0] }
+
+func (p page) nslots() int         { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func (p page) setNSlots(n int)     { binary.LittleEndian.PutUint16(p[2:4], uint16(n)) }
+func (p page) dataEnd() int        { return int(binary.LittleEndian.Uint16(p[4:6])) }
+func (p page) setDataEnd(n int)    { binary.LittleEndian.PutUint16(p[4:6], uint16(n)) }
+func (p page) used() int           { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func (p page) setUsed(n int)       { binary.LittleEndian.PutUint16(p[2:4], uint16(n)) }
+func (p page) next() uint64        { return binary.LittleEndian.Uint64(p[8:16]) }
+func (p page) setNext(n uint64)    { binary.LittleEndian.PutUint64(p[8:16], n) }
+func (p page) ovOID() uint64       { return binary.LittleEndian.Uint64(p[16:24]) }
+func (p page) setOvOID(oid uint64) { binary.LittleEndian.PutUint64(p[16:24], oid) }
+
+func (p page) ovData() []byte { return p[overflowHeaderSize : overflowHeaderSize+p.used()] }
+
+func (p page) setOvData(data []byte) {
+	copy(p[overflowHeaderSize:], data)
+	p.setUsed(len(data))
+}
+
+// slotBase returns the byte offset of slot i's entry.
+func slotBase(i int) int { return PageSize - slotSize*(i+1) }
+
+func (p page) slot(i int) (oid uint64, off, ln int) {
+	b := slotBase(i)
+	oid = binary.LittleEndian.Uint64(p[b : b+8])
+	off = int(binary.LittleEndian.Uint16(p[b+8 : b+10]))
+	ln = int(binary.LittleEndian.Uint16(p[b+10 : b+12]))
+	return
+}
+
+func (p page) setSlot(i int, oid uint64, off, ln int) {
+	b := slotBase(i)
+	binary.LittleEndian.PutUint64(p[b:b+8], oid)
+	binary.LittleEndian.PutUint16(p[b+8:b+10], uint16(off))
+	binary.LittleEndian.PutUint16(p[b+10:b+12], uint16(ln))
+}
+
+// findSlot returns the slot index holding oid, or -1.
+func (p page) findSlot(oid uint64) int {
+	for i := 0; i < p.nslots(); i++ {
+		o, _, _ := p.slot(i)
+		if o == oid {
+			return i
+		}
+	}
+	return -1
+}
+
+// freeSpace returns the contiguous free bytes available for one more
+// insertion, accounting for a possibly-needed new slot entry.
+func (p page) freeSpace() int {
+	slots := p.nslots()
+	// A tombstoned slot can be reused without growing the slot array.
+	reusable := false
+	for i := 0; i < slots; i++ {
+		if oid, _, _ := p.slot(i); oid == 0 {
+			reusable = true
+			break
+		}
+	}
+	free := PageSize - slotSize*slots - p.dataEnd()
+	if !reusable {
+		free -= slotSize
+	}
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// insert places data for oid and returns the slot index; ok is false if
+// the page lacks space.
+func (p page) insert(oid uint64, data []byte) (int, bool) {
+	if p.freeSpace() < len(data) {
+		return 0, false
+	}
+	slot := -1
+	for i := 0; i < p.nslots(); i++ {
+		if o, _, _ := p.slot(i); o == 0 {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = p.nslots()
+		p.setNSlots(slot + 1)
+	}
+	off := p.dataEnd()
+	copy(p[off:], data)
+	p.setDataEnd(off + len(data))
+	p.setSlot(slot, oid, off, len(data))
+	return slot, true
+}
+
+// readSlot returns a copy of the data in slot i.
+func (p page) readSlot(i int) []byte {
+	_, off, ln := p.slot(i)
+	out := make([]byte, ln)
+	copy(out, p[off:off+ln])
+	return out
+}
+
+// writeInPlace overwrites slot i's data; the length must match.
+func (p page) writeInPlace(i int, data []byte) bool {
+	_, off, ln := p.slot(i)
+	if ln != len(data) {
+		return false
+	}
+	copy(p[off:off+ln], data)
+	return true
+}
+
+// remove tombstones slot i and compacts the data region so free space
+// stays contiguous.
+func (p page) remove(i int) {
+	p.setSlot(i, 0, 0, 0)
+	p.compact()
+}
+
+// compact rewrites the data region with live slots packed from the front.
+func (p page) compact() {
+	type live struct {
+		slot, off, ln int
+		oid           uint64
+	}
+	var lives []live
+	for i := 0; i < p.nslots(); i++ {
+		oid, off, ln := p.slot(i)
+		if oid != 0 {
+			lives = append(lives, live{i, off, ln, oid})
+		}
+	}
+	// Pack in ascending original offset so moves never overlap forward.
+	for i := 1; i < len(lives); i++ {
+		for j := i; j > 0 && lives[j].off < lives[j-1].off; j-- {
+			lives[j], lives[j-1] = lives[j-1], lives[j]
+		}
+	}
+	dst := pageHeaderSize
+	for _, lv := range lives {
+		if lv.off != dst {
+			copy(p[dst:dst+lv.ln], p[lv.off:lv.off+lv.ln])
+		}
+		p.setSlot(lv.slot, lv.oid, dst, lv.ln)
+		dst += lv.ln
+	}
+	p.setDataEnd(dst)
+	// Shrink the slot array past trailing tombstones.
+	n := p.nslots()
+	for n > 0 {
+		if oid, _, _ := p.slot(n - 1); oid != 0 {
+			break
+		}
+		n--
+	}
+	p.setNSlots(n)
+}
+
+// liveCount returns the number of live slots.
+func (p page) liveCount() int {
+	n := 0
+	for i := 0; i < p.nslots(); i++ {
+		if oid, _, _ := p.slot(i); oid != 0 {
+			n++
+		}
+	}
+	return n
+}

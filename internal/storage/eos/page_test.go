@@ -1,0 +1,158 @@
+package eos
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageInsertRead(t *testing.T) {
+	p := newSlottedPage()
+	slot, ok := p.insert(42, []byte("hello"))
+	if !ok {
+		t.Fatal("insert failed on empty page")
+	}
+	if got := p.readSlot(slot); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("readSlot = %q", got)
+	}
+	if p.findSlot(42) != slot {
+		t.Fatalf("findSlot(42) = %d, want %d", p.findSlot(42), slot)
+	}
+	if p.findSlot(99) != -1 {
+		t.Fatal("findSlot(99) found a ghost")
+	}
+}
+
+func TestPageFillsUp(t *testing.T) {
+	p := newSlottedPage()
+	data := make([]byte, 100)
+	count := 0
+	for {
+		_, ok := p.insert(uint64(count+1), data)
+		if !ok {
+			break
+		}
+		count++
+	}
+	// 4096-16 = 4080 usable; each insert costs 100+12=112 → 36 objects.
+	if count != 36 {
+		t.Fatalf("page held %d 100-byte objects, want 36", count)
+	}
+	if p.liveCount() != count {
+		t.Fatalf("liveCount = %d, want %d", p.liveCount(), count)
+	}
+}
+
+func TestPageRemoveCompacts(t *testing.T) {
+	p := newSlottedPage()
+	s1, _ := p.insert(1, bytes.Repeat([]byte("a"), 500))
+	s2, _ := p.insert(2, bytes.Repeat([]byte("b"), 500))
+	s3, _ := p.insert(3, bytes.Repeat([]byte("c"), 500))
+	before := p.freeSpace()
+	p.remove(s2)
+	if got := p.freeSpace(); got < before+500 {
+		t.Fatalf("free space after remove = %d, want >= %d", got, before+500)
+	}
+	// Survivors intact after compaction.
+	if got := p.readSlot(s1); !bytes.Equal(got, bytes.Repeat([]byte("a"), 500)) {
+		t.Fatal("slot 1 corrupted by compaction")
+	}
+	if got := p.readSlot(s3); !bytes.Equal(got, bytes.Repeat([]byte("c"), 500)) {
+		t.Fatal("slot 3 corrupted by compaction")
+	}
+	if p.findSlot(2) != -1 {
+		t.Fatal("removed object still findable")
+	}
+}
+
+func TestPageSlotReuse(t *testing.T) {
+	p := newSlottedPage()
+	s1, _ := p.insert(1, []byte("x"))
+	p.insert(2, []byte("y"))
+	p.remove(s1)
+	s3, ok := p.insert(3, []byte("z"))
+	if !ok {
+		t.Fatal("insert after remove failed")
+	}
+	if s3 != s1 {
+		t.Fatalf("tombstoned slot not reused: got %d, want %d", s3, s1)
+	}
+}
+
+func TestPageWriteInPlace(t *testing.T) {
+	p := newSlottedPage()
+	s, _ := p.insert(1, []byte("aaaa"))
+	if !p.writeInPlace(s, []byte("bbbb")) {
+		t.Fatal("same-length in-place write refused")
+	}
+	if got := p.readSlot(s); !bytes.Equal(got, []byte("bbbb")) {
+		t.Fatalf("after in-place write: %q", got)
+	}
+	if p.writeInPlace(s, []byte("c")) {
+		t.Fatal("different-length in-place write accepted")
+	}
+}
+
+func TestPageTrailingTombstonesShrinkSlotArray(t *testing.T) {
+	p := newSlottedPage()
+	p.insert(1, []byte("x"))
+	s2, _ := p.insert(2, []byte("y"))
+	p.remove(s2)
+	if p.nslots() != 1 {
+		t.Fatalf("nslots = %d after removing trailing slot, want 1", p.nslots())
+	}
+}
+
+func TestMaxInlineFits(t *testing.T) {
+	p := newSlottedPage()
+	if _, ok := p.insert(1, make([]byte, MaxInline)); !ok {
+		t.Fatalf("MaxInline (%d) object did not fit in an empty page", MaxInline)
+	}
+}
+
+// Property: after any random sequence of inserts and removes, every live
+// object reads back exactly, and free space is consistent.
+func TestPageRandomOpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := newSlottedPage()
+		live := make(map[uint64][]byte)
+		nextOID := uint64(1)
+		for i := 0; i < 200; i++ {
+			if r.Intn(3) != 0 || len(live) == 0 {
+				n := r.Intn(300) + 1
+				data := make([]byte, n)
+				r.Read(data)
+				if _, ok := p.insert(nextOID, data); ok {
+					live[nextOID] = data
+					nextOID++
+				}
+			} else {
+				// Remove a random live object.
+				for oid := range live {
+					s := p.findSlot(oid)
+					if s < 0 {
+						return false
+					}
+					p.remove(s)
+					delete(live, oid)
+					break
+				}
+			}
+		}
+		for oid, want := range live {
+			s := p.findSlot(oid)
+			if s < 0 {
+				return false
+			}
+			if !bytes.Equal(p.readSlot(s), want) {
+				return false
+			}
+		}
+		return p.liveCount() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package wal implements the write-ahead log used by the disk-based
+// storage manager (the EOS analog). The paper's storage managers provide
+// "locking, logging, transactions" (§2); this log supplies the logging and
+// durability half.
+//
+// The log is redo-only under a no-steal policy: a transaction's updates
+// are buffered by the transaction manager and reach the log only at
+// commit, as a single batch terminated by a commit record and fsynced
+// once. Recovery therefore replays exactly the transactions whose commit
+// record survived; a torn tail (partial batch from a crash mid-commit) is
+// detected by CRC and truncated. In-transaction rollback — including the
+// rollback of trigger FSM states required by §5.5 — never touches the log;
+// it is served from in-memory before-images.
+//
+// Record format (little endian):
+//
+//	u32 payload length
+//	u32 CRC-32 (IEEE) of payload
+//	payload: u8 type | u64 txn | u64 oid | u32 len | data
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// LSN is a log sequence number: the byte offset of a record.
+type LSN uint64
+
+// RecType tags a log record.
+type RecType uint8
+
+const (
+	// RecUpdate carries the redo (after) image of one object write.
+	RecUpdate RecType = iota + 1
+	// RecAllocate records creation of an object with its initial image.
+	RecAllocate
+	// RecFree records deletion of an object.
+	RecFree
+	// RecCommit marks txn's batch as durable; recovery replays only
+	// transactions whose commit record is present.
+	RecCommit
+	// RecCheckpoint marks a point at which the store was flushed; records
+	// before it are obsolete.
+	RecCheckpoint
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecUpdate:
+		return "update"
+	case RecAllocate:
+		return "allocate"
+	case RecFree:
+		return "free"
+	case RecCommit:
+		return "commit"
+	case RecCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// Record is one log entry.
+type Record struct {
+	Type RecType
+	Txn  uint64
+	OID  uint64
+	Data []byte
+}
+
+const headerSize = 8 // length + crc
+
+// ErrCorrupt reports a CRC mismatch mid-log (not at the tail).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only, CRC-checked record log.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	size int64
+	path string
+}
+
+// Open opens (creating if needed) the log at path. It validates the
+// existing contents and truncates any torn tail left by a crash.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{f: f, path: path}
+	valid, err := l.validPrefix()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	l.size = valid
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	return l, nil
+}
+
+// validPrefix scans the file and returns the length of the longest valid
+// record prefix.
+func (l *Log) validPrefix() (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReaderSize(l.f, 1<<16)
+	var off int64
+	hdr := make([]byte, headerSize)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return off, nil // clean EOF or torn header: keep prefix
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > 1<<30 {
+			return off, nil // implausible length: torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return off, nil
+		}
+		off += int64(headerSize) + int64(length)
+	}
+}
+
+// Append buffers a record and returns its LSN. The record is not durable
+// until Flush returns.
+func (l *Log) Append(rec *Record) (LSN, error) {
+	payload := encode(rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return 0, errors.New("wal: log closed")
+	}
+	lsn := LSN(l.size)
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(headerSize) + int64(len(payload))
+	return lsn, nil
+}
+
+// AppendBatch appends several records and flushes them durably with a
+// single fsync — the commit path.
+func (l *Log) AppendBatch(recs []Record) error {
+	for i := range recs {
+		if _, err := l.Append(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return l.Flush()
+}
+
+// Flush forces buffered records to stable storage (fsync).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if l.w == nil {
+		return errors.New("wal: log closed")
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Scan replays every record in LSN order. Buffered records are flushed
+// first so the scan sees everything appended so far.
+func (l *Log) Scan(fn func(LSN, *Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: flush before scan: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	r := bufio.NewReaderSize(l.f, 1<<16)
+	var off int64
+	hdr := make([]byte, headerSize)
+	for off < l.size {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return fmt.Errorf("wal: scan header at %d: %w", off, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("wal: scan payload at %d: %w", off, err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return fmt.Errorf("%w at LSN %d", ErrCorrupt, off)
+		}
+		rec, err := decode(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(LSN(off), rec); err != nil {
+			return err
+		}
+		off += int64(headerSize) + int64(length)
+	}
+	// Restore the write position.
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek to tail: %w", err)
+	}
+	return nil
+}
+
+// Truncate discards the whole log (after a checkpoint has made the store
+// durable) and starts over.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size = 0
+	l.w.Reset(l.f)
+	return nil
+}
+
+// Size returns the current log length in bytes (buffered included).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return nil
+	}
+	flushErr := l.flushLocked()
+	closeErr := l.f.Close()
+	l.w = nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+func encode(rec *Record) []byte {
+	buf := make([]byte, 1+8+8+4+len(rec.Data))
+	buf[0] = byte(rec.Type)
+	binary.LittleEndian.PutUint64(buf[1:9], rec.Txn)
+	binary.LittleEndian.PutUint64(buf[9:17], rec.OID)
+	binary.LittleEndian.PutUint32(buf[17:21], uint32(len(rec.Data)))
+	copy(buf[21:], rec.Data)
+	return buf
+}
+
+func decode(payload []byte) (*Record, error) {
+	if len(payload) < 21 {
+		return nil, fmt.Errorf("wal: short payload (%d bytes)", len(payload))
+	}
+	rec := &Record{
+		Type: RecType(payload[0]),
+		Txn:  binary.LittleEndian.Uint64(payload[1:9]),
+		OID:  binary.LittleEndian.Uint64(payload[9:17]),
+	}
+	n := binary.LittleEndian.Uint32(payload[17:21])
+	if int(n) != len(payload)-21 {
+		return nil, fmt.Errorf("wal: length mismatch: header %d, payload %d", n, len(payload)-21)
+	}
+	if n > 0 {
+		rec.Data = append([]byte(nil), payload[21:]...)
+	}
+	return rec, nil
+}

@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func scanAll(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	err := l.Scan(func(_ LSN, r *Record) error {
+		out = append(out, *r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	l, _ := openTemp(t)
+	recs := []Record{
+		{Type: RecAllocate, Txn: 1, OID: 100, Data: []byte("hello")},
+		{Type: RecUpdate, Txn: 1, OID: 100, Data: []byte("world!")},
+		{Type: RecFree, Txn: 1, OID: 101},
+		{Type: RecCommit, Txn: 1},
+	}
+	for i := range recs {
+		if _, err := l.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := scanAll(t, l)
+	if len(got) != len(recs) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Type != recs[i].Type || got[i].Txn != recs[i].Txn ||
+			got[i].OID != recs[i].OID || !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	l, path := openTemp(t)
+	if err := l.AppendBatch([]Record{
+		{Type: RecUpdate, Txn: 7, OID: 1, Data: []byte("x")},
+		{Type: RecCommit, Txn: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := scanAll(t, l2)
+	if len(got) != 2 || got[1].Type != RecCommit || got[1].Txn != 7 {
+		t.Fatalf("after reopen: %+v", got)
+	}
+}
+
+func TestAppendAfterReopenContinues(t *testing.T) {
+	l, path := openTemp(t)
+	if _, err := l.Append(&Record{Type: RecUpdate, Txn: 1, OID: 1, Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := l2.Append(&Record{Type: RecUpdate, Txn: 2, OID: 2, Data: []byte("b")}); err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, l2)
+	if len(got) != 2 || got[0].Txn != 1 || got[1].Txn != 2 {
+		t.Fatalf("combined log: %+v", got)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	l, path := openTemp(t)
+	if err := l.AppendBatch([]Record{
+		{Type: RecUpdate, Txn: 1, OID: 1, Data: []byte("committed")},
+		{Type: RecCommit, Txn: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	size := l.Size()
+	// Simulate a crash mid-batch: a second batch only partially written.
+	if _, err := l.Append(&Record{Type: RecUpdate, Txn: 2, OID: 2, Data: []byte("torn")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Chop bytes off the tail, landing mid-record.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Size() != size {
+		t.Fatalf("recovered size %d, want %d (torn record dropped)", l2.Size(), size)
+	}
+	got := scanAll(t, l2)
+	if len(got) != 2 || got[1].Type != RecCommit {
+		t.Fatalf("recovered records: %+v", got)
+	}
+}
+
+func TestCorruptMiddleDetectedOnOpen(t *testing.T) {
+	l, path := openTemp(t)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(&Record{Type: RecUpdate, Txn: 1, OID: uint64(i), Data: []byte("data")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Flush()
+	l.Close()
+	// Flip a byte in the first record's payload.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[headerSize+5] ^= 0xff
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Open truncates at the first bad record: everything goes.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Size() != 0 {
+		t.Fatalf("size after corrupt-first-record open = %d, want 0", l2.Size())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l, _ := openTemp(t)
+	if _, err := l.Append(&Record{Type: RecUpdate, Txn: 1, OID: 1, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Fatalf("size after truncate = %d", l.Size())
+	}
+	if got := scanAll(t, l); len(got) != 0 {
+		t.Fatalf("records after truncate: %+v", got)
+	}
+	// Log still usable.
+	if _, err := l.Append(&Record{Type: RecCommit, Txn: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := scanAll(t, l); len(got) != 1 {
+		t.Fatalf("records after truncate+append: %+v", got)
+	}
+}
+
+func TestLSNsAreMonotonic(t *testing.T) {
+	l, _ := openTemp(t)
+	var last LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append(&Record{Type: RecUpdate, Txn: 1, OID: uint64(i), Data: make([]byte, i*7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && lsn <= last {
+			t.Fatalf("LSN %d not after %d", lsn, last)
+		}
+		last = lsn
+	}
+}
+
+func TestScanStopsOnCallbackError(t *testing.T) {
+	l, _ := openTemp(t)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(&Record{Type: RecUpdate, Txn: 1, OID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop")
+	count := 0
+	err := l.Scan(func(LSN, *Record) error {
+		count++
+		if count == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || count != 3 {
+		t.Fatalf("err=%v count=%d", err, count)
+	}
+	// Appends still work after an aborted scan.
+	if _, err := l.Append(&Record{Type: RecCommit, Txn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := scanAll(t, l); len(got) != 6 {
+		t.Fatalf("got %d records, want 6", len(got))
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	l, _ := openTemp(t)
+	l.Close()
+	if _, err := l.Append(&Record{Type: RecCommit, Txn: 1}); err == nil {
+		t.Fatal("append on closed log succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestEmptyDataRecord(t *testing.T) {
+	l, _ := openTemp(t)
+	if _, err := l.Append(&Record{Type: RecFree, Txn: 3, OID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, l)
+	if len(got) != 1 || got[0].Data != nil {
+		t.Fatalf("empty-data record: %+v", got)
+	}
+}
+
+func TestRecTypeString(t *testing.T) {
+	for rt, want := range map[RecType]string{
+		RecUpdate: "update", RecAllocate: "allocate", RecFree: "free",
+		RecCommit: "commit", RecCheckpoint: "checkpoint", RecType(99): "RecType(99)",
+	} {
+		if got := rt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", rt, got, want)
+		}
+	}
+}
+
+// Property: any batch of records survives a round trip through the log
+// byte-identically.
+func TestRoundTripProperty(t *testing.T) {
+	type flat struct {
+		Type uint8
+		Txn  uint64
+		OID  uint64
+		Data []byte
+	}
+	f := func(in []flat) bool {
+		path := filepath.Join(t.TempDir(), "prop.wal")
+		l, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for _, r := range in {
+			rec := Record{Type: RecType(r.Type%5 + 1), Txn: r.Txn, OID: r.OID, Data: r.Data}
+			if _, err := l.Append(&rec); err != nil {
+				return false
+			}
+		}
+		var got []Record
+		if err := l.Scan(func(_ LSN, r *Record) error { got = append(got, *r); return nil }); err != nil {
+			return false
+		}
+		if len(got) != len(in) {
+			return false
+		}
+		for i, r := range in {
+			g := got[i]
+			wantData := r.Data
+			if len(wantData) == 0 {
+				wantData = nil
+			}
+			if g.Type != RecType(r.Type%5+1) || g.Txn != r.Txn || g.OID != r.OID || !bytes.Equal(g.Data, wantData) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

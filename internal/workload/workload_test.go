@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+
+	"ode/internal/eventexpr"
+)
+
+func TestCardStreamDeterministic(t *testing.T) {
+	a := CardStream(42, 100, 10, DefaultCardMix, 0)
+	b := CardStream(42, 100, 10, DefaultCardMix, 0)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := CardStream(43, 100, 10, DefaultCardMix, 0)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestCardStreamMixRoughlyHolds(t *testing.T) {
+	ops := CardStream(1, 10000, 10, DefaultCardMix, 0)
+	counts := map[CardOpKind]int{}
+	for _, op := range ops {
+		counts[op.Kind]++
+		if op.Card < 0 || op.Card >= 10 {
+			t.Fatalf("card %d out of range", op.Card)
+		}
+		if (op.Kind == OpBuy || op.Kind == OpPay) && op.Amount <= 0 {
+			t.Fatalf("non-positive amount: %+v", op)
+		}
+	}
+	// 50% buys ±5 points.
+	if pct := counts[OpBuy] * 100 / len(ops); pct < 45 || pct > 55 {
+		t.Fatalf("buy pct = %d", pct)
+	}
+	if pct := counts[OpQuery] * 100 / len(ops); pct < 10 || pct > 20 {
+		t.Fatalf("query pct = %d (want ~15)", pct)
+	}
+}
+
+func TestCardStreamHotspot(t *testing.T) {
+	ops := CardStream(7, 10000, 100, DefaultCardMix, 80)
+	hot := 0
+	for _, op := range ops {
+		if op.Card == 0 {
+			hot++
+		}
+	}
+	if pct := hot * 100 / len(ops); pct < 70 {
+		t.Fatalf("hotspot pct = %d, want >= 70", pct)
+	}
+}
+
+func TestCardStreamZeroCards(t *testing.T) {
+	ops := CardStream(1, 10, 0, DefaultCardMix, 0)
+	for _, op := range ops {
+		if op.Card != 0 {
+			t.Fatalf("card %d with cards=0", op.Card)
+		}
+	}
+}
+
+func TestTickStream(t *testing.T) {
+	syms := []string{"T", "GOLD"}
+	ticks := TickStream(5, 1000, syms, 60, 0.02)
+	if len(ticks) != 1000 {
+		t.Fatalf("len = %d", len(ticks))
+	}
+	seen := map[string]bool{}
+	for _, tk := range ticks {
+		seen[tk.Symbol] = true
+		if tk.Price < 1 {
+			t.Fatalf("price %v below floor", tk.Price)
+		}
+	}
+	if !seen["T"] || !seen["GOLD"] {
+		t.Fatalf("symbols missing: %v", seen)
+	}
+	// Random walk: consecutive ticks of one symbol move at most ±2%.
+	last := map[string]float64{}
+	for _, tk := range ticks {
+		if p, ok := last[tk.Symbol]; ok {
+			ratio := tk.Price / p
+			if ratio < 0.979 || ratio > 1.021 {
+				t.Fatalf("step ratio %v outside volatility", ratio)
+			}
+		}
+		last[tk.Symbol] = tk.Price
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	s := EventStream(9, 500, 4)
+	counts := make([]int, 4)
+	for _, e := range s {
+		if e < 0 || e >= 4 {
+			t.Fatalf("event %d out of range", e)
+		}
+		counts[e]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("event %d never generated", i)
+		}
+	}
+}
+
+func TestExpressionsParse(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		for _, src := range Expressions(k) {
+			if _, err := eventexpr.Parse(src); err != nil {
+				t.Errorf("Expressions(%d) produced unparseable %q: %v", k, src, err)
+			}
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpBuy.String() != "buy" || OpQuery.String() != "query" {
+		t.Fatal("op kind strings")
+	}
+	if CardOpKind(9).String() != "CardOpKind(9)" {
+		t.Fatal("unknown op kind")
+	}
+}
