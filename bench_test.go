@@ -1,5 +1,5 @@
 // Package-level benchmarks: one testing.B entry per reproduction
-// experiment (E1–E15; see DESIGN.md §4 and EXPERIMENTS.md). The paper has
+// experiment (E1–E16; see DESIGN.md §4 and EXPERIMENTS.md). The paper has
 // no numeric tables, so each benchmark regenerates the measurable side of
 // one of its claims; cmd/ode-bench prints the full paper-shaped tables
 // with baselines side by side.
@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ode"
@@ -17,6 +19,9 @@ import (
 	"ode/internal/event"
 	"ode/internal/eventexpr"
 	"ode/internal/fsm"
+	"ode/internal/storage"
+	"ode/internal/storage/dali"
+	"ode/internal/storage/eos"
 	"ode/internal/workload"
 )
 
@@ -660,5 +665,67 @@ func BenchmarkE15TxnEventCommit(b *testing.B) {
 		if err := tx.Commit(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E16: group commit -------------------------------------------------------------------
+
+// benchCommitters drives b.N single-op commits through m from c concurrent
+// committers on disjoint OIDs (concurrency control above the storage seam
+// serializes conflicting object access, so disjointness is the realistic
+// multi-application load of §7).
+func benchCommitters(b *testing.B, m storage.Manager, c int) {
+	b.Helper()
+	oids := make([]storage.OID, c)
+	for i := range oids {
+		oid, err := m.ReserveOID()
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	var txnSeq atomic.Uint64
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < c; w++ {
+		n := b.N / c
+		if w == 0 {
+			n += b.N % c
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			payload := make([]byte, 64)
+			for i := 0; i < n; i++ {
+				ops := []storage.Op{{Kind: storage.OpWrite, OID: oids[w], Data: payload}}
+				if err := m.ApplyCommit(txnSeq.Add(1), ops); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkE16GroupCommit measures commit throughput against committer
+// count on both managers. With group commit, eos ns/op should drop as
+// committers rise (one fsync covers a whole batch); dali has no
+// durability wait and is the ceiling.
+func BenchmarkE16GroupCommit(b *testing.B) {
+	for _, c := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("eos/committers=%d", c), func(b *testing.B) {
+			m, err := eos.Open(filepath.Join(b.TempDir(), "e16.eos"), eos.Options{NoAutoCheckpoint: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { m.Close() })
+			benchCommitters(b, m, c)
+		})
+		b.Run(fmt.Sprintf("dali/committers=%d", c), func(b *testing.B) {
+			m := dali.New()
+			b.Cleanup(func() { m.Close() })
+			benchCommitters(b, m, c)
+		})
 	}
 }

@@ -142,6 +142,13 @@ func main() {
 	st := store.Stats()
 	fmt.Printf("\nstore stats: %d reads, %d page reads, %d cache hits\n",
 		st.Reads, st.PageReads, st.CacheHits)
+	avg := 0.0
+	if st.Fsyncs > 0 {
+		avg = float64(st.GroupCommits) / float64(st.Fsyncs)
+	}
+	fmt.Printf("group commit: %d commits over %d fsyncs (batch min/avg/max %d/%.1f/%d), %.2fms total commit wait\n",
+		st.GroupCommits, st.Fsyncs, st.BatchMin, avg, st.BatchMax,
+		float64(st.CommitWaitNs)/1e6)
 }
 
 func preview(data []byte, full bool) string {

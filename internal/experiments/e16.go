@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ode/internal/core"
+	"ode/internal/server"
+	"ode/internal/storage"
+	"ode/internal/storage/dali"
+	"ode/internal/storage/eos"
+)
+
+// E16 measures commit throughput under concurrency: the group-commit
+// claim. The paper's storage substrate must carry "many concurrent
+// applications" sharing one database (§7's global events only matter
+// then); with one fsync per commit, N committers pay N serialized
+// fsyncs, so throughput is flat in N. Group commit coalesces the
+// committers that arrive during an in-flight fsync into the next one, so
+// eos throughput should *scale* with the committer count — dali (no
+// durability wait) is the ceiling. A second table drives the same load
+// end-to-end through ode-server with concurrent network clients.
+func (r *Runner) E16() Result {
+	res := Result{ID: "E16", Title: "group commit: concurrent commit throughput"}
+	r.header("E16", res.Title, "§2, §5.6, §7",
+		"with group commit, eos commit throughput scales with concurrent committers instead of staying flat at one fsync per commit")
+
+	dir := r.Cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ode-e16-*")
+		if err != nil {
+			res.Summary = err.Error()
+			return res
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	counts := []int{1, 4, 16, 64}
+	// Group-commit coalescing needs a moment to reach steady state (the
+	// committers must overlap in the durability wait), so E16 keeps a
+	// higher quick-mode floor than scale() gives and warms each store up
+	// with an untimed round before measuring.
+	perCommitter := 4000
+	if r.Cfg.Quick {
+		perCommitter = 2000
+	}
+
+	// runStore drives c committers, each ApplyCommit-ing small batches on
+	// its own OID (disjoint objects: concurrency control above the
+	// storage seam serializes conflicting access).
+	runStore := func(m storage.Manager, c int) (commitsPerSec float64) {
+		oids := make([]storage.OID, c)
+		for i := range oids {
+			oid, err := m.ReserveOID()
+			if err != nil {
+				panic(err)
+			}
+			oids[i] = oid
+		}
+		n := perCommitter
+		if c == 1 {
+			n *= 4 // enough work for a stable single-committer baseline
+		}
+		var txnSeq atomic.Uint64
+		drive := func(iters int) time.Duration {
+			var wg sync.WaitGroup
+			gate := make(chan struct{})
+			for w := 0; w < c; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					<-gate
+					payload := make([]byte, 64)
+					for i := 0; i < iters; i++ {
+						ops := []storage.Op{{Kind: storage.OpWrite, OID: oids[w], Data: payload}}
+						if err := m.ApplyCommit(txnSeq.Add(1), ops); err != nil {
+							panic(err)
+						}
+					}
+				}(w)
+			}
+			start := time.Now()
+			close(gate)
+			wg.Wait()
+			return time.Since(start)
+		}
+		drive(n / 10) // untimed warmup: reach steady-state coalescing
+		elapsed := drive(n)
+		return float64(c*n) / elapsed.Seconds()
+	}
+
+	fmt.Fprintf(r.W, "%-12s %14s %14s %10s %12s %12s\n",
+		"committers", "eos commits/s", "dali commits/s", "fsyncs", "batch avg", "batch max")
+	eosRates := map[int]float64{}
+	for _, c := range counts {
+		e, err := eos.Open(filepath.Join(dir, fmt.Sprintf("e16-%d.eos", c)), eos.Options{NoAutoCheckpoint: true})
+		if err != nil {
+			res.Summary = err.Error()
+			return res
+		}
+		eosRates[c] = runStore(e, c)
+		st := e.Stats()
+		e.Close()
+
+		d := dali.New()
+		daliRate := runStore(d, c)
+		d.Close()
+
+		avg := 0.0
+		if st.Fsyncs > 0 {
+			avg = float64(st.GroupCommits) / float64(st.Fsyncs)
+		}
+		fmt.Fprintf(r.W, "%-12d %14.0f %14.0f %10d %12.1f %12d\n",
+			c, eosRates[c], daliRate, st.Fsyncs, avg, st.BatchMax)
+	}
+
+	// End-to-end: the same concurrency through ode-server's wire protocol
+	// (one committing transaction per Buy), eos-backed.
+	serverRate, err := r.e16Server(filepath.Join(dir, "e16-server.eos"), 16, r.Cfg.scale(2000))
+	if err != nil {
+		res.Summary = err.Error()
+		return res
+	}
+	fmt.Fprintf(r.W, "ode-server, 16 concurrent clients over eos: %.0f txn/s\n", serverRate)
+
+	speedup := eosRates[16] / eosRates[1]
+	res.Passed = speedup >= 3
+	res.Summary = fmt.Sprintf("eos commit throughput %.1fx at 16 committers vs 1 (group commit); server %d-client load %.0f txn/s",
+		speedup, 16, serverRate)
+	return res
+}
+
+// e16Server starts an in-process ode-server over an eos store and drives
+// it with clients concurrent network clients, each committing perOps
+// one-Buy transactions against its own card.
+func (r *Runner) e16Server(path string, clients, perOps int) (txnPerSec float64, err error) {
+	store, err := eos.Open(path, eos.Options{})
+	if err != nil {
+		return 0, err
+	}
+	db, err := core.NewDatabase(store)
+	if err != nil {
+		store.Close()
+		return 0, err
+	}
+	defer db.Close()
+	if err := db.Register(CredCardClass()); err != nil {
+		return 0, err
+	}
+	srv := server.New(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	refs := make([]uint64, clients)
+	setup, err := server.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	if err := setup.Begin(); err != nil {
+		return 0, err
+	}
+	for i := range refs {
+		refs[i], err = setup.Create("CredCard", &CredCard{Holder: "bench", CredLim: 1e12, GoodHist: true})
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		return 0, err
+	}
+	setup.Close()
+
+	conns := make([]*server.Client, clients)
+	for i := range conns {
+		if conns[i], err = server.Dial(addr); err != nil {
+			return 0, err
+		}
+		defer conns[i].Close()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	gate := make(chan struct{})
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-gate
+			c := conns[w]
+			for i := 0; i < perOps; i++ {
+				if err := c.Begin(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Invoke(refs[w], "Buy", 1.0); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	close(gate)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(clients*perOps) / elapsed.Seconds(), nil
+}

@@ -2,8 +2,11 @@ package storage_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -106,6 +109,115 @@ func TestManagersBehaveIdentically(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCommitsAndReads exercises the commit/read decoupling on
+// both managers: committers bump per-object counters while readers spin
+// over the same objects. Per object, commits are ordered, so every reader
+// must observe a non-decreasing counter — and no reader should ever stall
+// behind a committer's durability wait or see a torn value. Run with
+// -race, this is the storage seam's concurrency conformance check.
+func TestConcurrentCommitsAndReads(t *testing.T) {
+	cases := []struct {
+		name string
+		open func(t *testing.T) storage.Manager
+	}{
+		{"dali", func(t *testing.T) storage.Manager { return dali.New() }},
+		{"eos", func(t *testing.T) storage.Manager {
+			m, err := eos.Open(filepath.Join(t.TempDir(), "conc.eos"), eos.Options{CacheSize: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.open(t)
+			defer m.Close()
+
+			const committers, readers, per = 8, 4, 40
+			var txnSeq atomic.Uint64
+			oids := make([]storage.OID, committers)
+			val := func(v uint64) []byte {
+				b := make([]byte, 8)
+				binary.LittleEndian.PutUint64(b, v)
+				return b
+			}
+			for i := range oids {
+				oid, err := m.ReserveOID()
+				if err != nil {
+					t.Fatal(err)
+				}
+				oids[i] = oid
+				ops := []storage.Op{{Kind: storage.OpWrite, OID: oid, Data: val(0)}}
+				if err := m.ApplyCommit(txnSeq.Add(1), ops); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			done := make(chan struct{})
+			var wg, rwg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					last := make([]uint64, committers)
+					for i := 0; ; i++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						w := i % committers
+						data, err := m.Read(oids[w])
+						if err != nil {
+							t.Errorf("read oid %d: %v", oids[w], err)
+							return
+						}
+						if len(data) != 8 {
+							t.Errorf("oid %d: torn value, %d bytes", oids[w], len(data))
+							return
+						}
+						v := binary.LittleEndian.Uint64(data)
+						if v < last[w] || v > per {
+							t.Errorf("oid %d: counter went %d -> %d", oids[w], last[w], v)
+							return
+						}
+						last[w] = v
+					}
+				}()
+			}
+			for w := 0; w < committers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := uint64(1); i <= per; i++ {
+						ops := []storage.Op{{Kind: storage.OpWrite, OID: oids[w], Data: val(i)}}
+						if err := m.ApplyCommit(txnSeq.Add(1), ops); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(done)
+			rwg.Wait()
+			if t.Failed() {
+				return
+			}
+			for w := 0; w < committers; w++ {
+				data, err := m.Read(oids[w])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v := binary.LittleEndian.Uint64(data); v != per {
+					t.Fatalf("oid %d final counter = %d, want %d", oids[w], v, per)
+				}
+			}
+		})
 	}
 }
 

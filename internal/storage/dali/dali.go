@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"ode/internal/storage"
 )
@@ -30,6 +31,10 @@ type Manager struct {
 	objects map[storage.OID][]byte
 	nextOID storage.OID
 	stats   storage.Stats
+	// reads is kept out of stats (which mu guards) so the read path
+	// needs only the shared lock — reads never serialize behind commits,
+	// mirroring the eos commit/read decoupling.
+	reads atomic.Uint64
 	// snapshotPath, when non-empty, is where Checkpoint persists and Open
 	// loads a point-in-time image of the store.
 	snapshotPath string
@@ -77,19 +82,20 @@ func (m *Manager) ReserveOID() (storage.OID, error) {
 
 var errClosed = fmt.Errorf("dali: manager closed")
 
-// Read implements storage.Manager.
+// Read implements storage.Manager. Only the shared lock is taken:
+// concurrent readers proceed in parallel and never wait behind a
+// committer's exclusive section.
 func (m *Manager) Read(oid storage.OID) ([]byte, error) {
 	m.mu.RLock()
 	data, ok := m.objects[oid]
-	m.mu.RUnlock()
 	if !ok {
+		m.mu.RUnlock()
 		return nil, fmt.Errorf("%w: oid %d", storage.ErrNotFound, oid)
 	}
-	m.mu.Lock()
-	m.stats.Reads++
-	m.mu.Unlock()
 	out := make([]byte, len(data))
 	copy(out, data)
+	m.mu.RUnlock()
+	m.reads.Add(1)
 	return out, nil
 }
 
@@ -258,8 +264,10 @@ func (m *Manager) loadSnapshot(r io.Reader) error {
 // Stats implements storage.Manager.
 func (m *Manager) Stats() storage.Stats {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.stats
+	st := m.stats
+	m.mu.RUnlock()
+	st.Reads = m.reads.Load()
+	return st
 }
 
 // Len reports the number of live objects (tests use this).

@@ -5,11 +5,26 @@
 // internal/wal.
 //
 // Commit protocol: ApplyCommit appends the batch plus a commit record to
-// the WAL and fsyncs once (log-before-apply), then applies the ops to the
-// buffer pool; dirty pages reach the file lazily on eviction or at
-// Checkpoint. Recovery replays committed WAL batches over the page file;
-// replay is idempotent (records carry full after-images), so any prefix of
-// page flushes before the crash is harmless.
+// the WAL (log-before-apply), waits for a group-commit fsync to cover it,
+// then applies the ops to the buffer pool; dirty pages reach the file
+// lazily on eviction or at Checkpoint. Recovery replays committed WAL
+// batches over the page file — records from concurrently committed
+// transactions may interleave in the log, so replay buffers each
+// transaction's ops and applies them only when its commit record is
+// reached, in commit-record order. Replay is idempotent (records carry
+// full after-images), so any prefix of page flushes before the crash is
+// harmless.
+//
+// Locking: the manager splits its state under two locks so readers never
+// wait behind an fsync. seqMu (the log-sequencing lock) is held only
+// across the buffered WAL append, which fixes the commit order; mu (the
+// buffer-pool lock) covers the pool, directory, and counters. A
+// committer sequences under seqMu, waits for durability holding no locks
+// (coalescing with concurrent committers via the WAL's group commit),
+// then drains the apply queue under mu up to its own sequence — so the
+// pool state always equals a replay of the log prefix, even for
+// overlapping commits, and one committer's drain covers its whole fsync
+// batch.
 package eos
 
 import (
@@ -39,6 +54,15 @@ type loc struct {
 	overflow bool
 }
 
+// applyEntry is one sequenced commit waiting to be applied to the pool.
+// All fields are written under mu after enqueue.
+type applyEntry struct {
+	seq  uint64
+	ops  []storage.Op
+	skip bool  // durability failed: consume the sequence, apply nothing
+	err  error // apply error, for the owning committer (set by the drainer)
+}
+
 // cached is one buffer-pool frame.
 type cached struct {
 	no    uint32
@@ -50,7 +74,22 @@ type cached struct {
 
 // Manager is the disk-based storage manager.
 type Manager struct {
-	mu        sync.Mutex
+	// seqMu is the log-sequencing lock: held only while a commit's
+	// records are appended to the WAL buffer and its apply entry is
+	// enqueued — never across fsync or pool work. Checkpoint and Close
+	// take it first to fence out new commits (lock order: seqMu before
+	// mu).
+	seqMu   sync.Mutex
+	nextSeq uint64 // next apply sequence to hand out (under seqMu)
+
+	// mu is the buffer-pool lock: pool frames, directory, free maps,
+	// counters. Read/ReserveOID/Exists take only mu, so they are never
+	// blocked by a committer waiting on an fsync.
+	mu         sync.Mutex
+	appliedSeq uint64        // commits applied (or skipped) so far
+	applyQueue []*applyEntry // sequenced commits not yet applied, seq order
+	applyCond  *sync.Cond    // waits on appliedSeq advancing (with mu)
+
 	f         *os.File
 	log       *wal.Log
 	pageCount uint32 // includes header page 0
@@ -66,7 +105,9 @@ type Manager struct {
 	freePages []uint32
 	nextOID   storage.OID
 
-	stats      storage.Stats
+	stats storage.Stats
+	// closed is written with both seqMu and mu held, so either lock
+	// suffices to read it.
 	closed     bool
 	noAutoCkpt bool
 }
@@ -102,6 +143,7 @@ func Open(path string, opts Options) (*Manager, error) {
 		nextOID:    1,
 		noAutoCkpt: opts.NoAutoCheckpoint,
 	}
+	m.applyCond = sync.NewCond(&m.mu)
 	size, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		f.Close()
@@ -301,8 +343,11 @@ func (m *Manager) addFreePage(no uint32) {
 }
 
 // recover replays committed WAL batches, then checkpoints to truncate the
-// log. force checkpoints even without replayed batches (directory repair
-// must be made durable).
+// log. Records from concurrently group-committed transactions interleave
+// in the log, so ops are buffered per transaction and applied only when
+// that transaction's commit record is reached — transactions with no
+// commit record (in flight at the crash) are discarded. force checkpoints
+// even without replayed batches (directory repair must be made durable).
 func (m *Manager) recover(force bool) error {
 	pending := make(map[uint64][]storage.Op)
 	replayed := force
@@ -347,7 +392,8 @@ func (m *Manager) ReserveOID() (storage.OID, error) {
 	return oid, nil
 }
 
-// Read implements storage.Manager.
+// Read implements storage.Manager. It takes only the pool lock, so reads
+// proceed while committers wait on the WAL fsync.
 func (m *Manager) Read(oid storage.OID) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -391,14 +437,29 @@ func (m *Manager) Exists(oid storage.OID) bool {
 	return ok
 }
 
-// ApplyCommit implements storage.Manager.
+// ApplyCommit implements storage.Manager. The three phases hold
+// different locks:
+//
+//  1. sequence — append batch + commit record to the WAL buffer under
+//     seqMu, fixing this commit's position in the log, and enqueue the
+//     ops on the apply queue (same order);
+//  2. harden — wait for a group-commit fsync to cover the records,
+//     holding no locks (concurrent committers coalesce into one fsync);
+//  3. apply — under mu, drain the apply queue up to this commit's
+//     sequence, in log order.
+//
+// Phase 3 batches like phase 2 does: durability of this commit proves
+// durability of every earlier-sequenced commit (targets grow with
+// sequence numbers and the durable boundary is a log prefix), so the
+// first committer of a hardened batch to reach the pool applies the
+// whole batch and the rest return without queueing up behind the pool
+// lock — the committers of one fsync batch re-arrive at the log
+// together, keeping the next batch large.
+//
+// Log-before-apply is preserved: no page can carry an update whose
+// commit record is not durable, so a crash at any point leaves the batch
+// entirely visible or entirely invisible after recovery.
 func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return errClosed
-	}
-	// 1. Log-before-apply: batch + commit record, one fsync.
 	recs := make([]wal.Record, 0, len(ops)+1)
 	var logBytes uint64
 	for _, op := range ops {
@@ -414,21 +475,83 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 		}
 	}
 	recs = append(recs, wal.Record{Type: wal.RecCommit, Txn: txn})
-	if err := m.log.AppendBatch(recs); err != nil {
+
+	// 1. Sequence.
+	m.seqMu.Lock()
+	if m.closed {
+		m.seqMu.Unlock()
+		return errClosed
+	}
+	target, err := m.log.AppendCommit(recs)
+	if err != nil {
+		m.seqMu.Unlock()
 		return err
 	}
-	m.stats.LogBytes += logBytes
+	e := &applyEntry{seq: m.nextSeq, ops: ops}
+	m.nextSeq++
+	m.mu.Lock()
+	m.applyQueue = append(m.applyQueue, e)
+	m.mu.Unlock()
+	m.seqMu.Unlock()
 
-	// 2. Apply to the buffer pool.
-	for _, op := range ops {
-		if err := m.applyOp(op); err != nil {
-			return err
+	// 2. Harden (group commit; no locks held).
+	durErr := m.log.WaitDurable(target)
+
+	// 3. Apply. Even on a durability error the sequence must be
+	// consumed, or every later committer would wait forever.
+	m.mu.Lock()
+	if durErr != nil {
+		// This commit never became durable, so neither did any later
+		// one (the WAL's sync error is sticky) — no successful drainer
+		// will touch this entry. Earlier entries belong to committers
+		// that may still succeed: wait for them in order, then consume
+		// this sequence without applying.
+		for m.appliedSeq != e.seq {
+			m.applyCond.Wait()
 		}
+		e.skip = true
+		m.drainQueueLocked(e.seq)
+		m.mu.Unlock()
+		return durErr
 	}
-	if !m.noAutoCkpt && m.log.Size() > autoCheckpointBytes {
-		return m.checkpointLocked()
+	// Durable: every queued entry up to e.seq is durable too. Apply any
+	// of them not already applied by an earlier-arriving committer.
+	m.stats.LogBytes += logBytes
+	m.drainQueueLocked(e.seq)
+	applyErr := e.err
+	wantCkpt := applyErr == nil && !m.noAutoCkpt && m.log.Size() > autoCheckpointBytes
+	m.mu.Unlock()
+
+	if applyErr != nil {
+		return applyErr
+	}
+	if wantCkpt {
+		return m.Checkpoint()
 	}
 	return nil
+}
+
+// drainQueueLocked applies (in log order) every queued entry with
+// sequence ≤ upTo that has not been drained yet, recording per-entry
+// apply errors for their owners. Caller holds mu and guarantees all
+// those entries are durable (or skip-marked).
+func (m *Manager) drainQueueLocked(upTo uint64) {
+	for m.appliedSeq <= upTo {
+		// The queue holds exactly the sequenced-but-undrained entries in
+		// order, so its head is always the next sequence to apply.
+		q := m.applyQueue[0]
+		m.applyQueue[0] = nil
+		m.applyQueue = m.applyQueue[1:]
+		if !q.skip {
+			for _, op := range q.ops {
+				if q.err = m.applyOp(op); q.err != nil {
+					break
+				}
+			}
+		}
+		m.appliedSeq++
+	}
+	m.applyCond.Broadcast()
 }
 
 func (m *Manager) applyOp(op storage.Op) error {
@@ -728,14 +851,28 @@ func (m *Manager) Iterate(fn func(storage.OID, []byte) error) error {
 }
 
 // Checkpoint implements storage.Manager: flush all dirty pages and the
-// header, fsync the file, then truncate the WAL.
+// header, fsync the file, then truncate the WAL. It fences out new
+// commits via seqMu and drains in-flight ones (their records must not be
+// lost to the truncate) before flushing.
 func (m *Manager) Checkpoint() error {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return errClosed
 	}
+	m.drainAppliesLocked()
 	return m.checkpointLocked()
+}
+
+// drainAppliesLocked waits (releasing mu while waiting) until every
+// sequenced commit has been applied to the pool. Callers hold seqMu, so
+// no new commits can sequence meanwhile.
+func (m *Manager) drainAppliesLocked() {
+	for m.appliedSeq != m.nextSeq {
+		m.applyCond.Wait()
+	}
 }
 
 func (m *Manager) checkpointLocked() error {
@@ -755,20 +892,31 @@ func (m *Manager) checkpointLocked() error {
 	return m.log.Truncate()
 }
 
-// Stats implements storage.Manager.
+// Stats implements storage.Manager. Pool counters come from under mu;
+// group-commit counters are merged in from the WAL.
 func (m *Manager) Stats() storage.Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	m.mu.Unlock()
+	ss := m.log.SyncStats()
+	st.Fsyncs = ss.Fsyncs
+	st.GroupCommits = ss.Commits
+	st.BatchMin = ss.BatchMin
+	st.BatchMax = ss.BatchMax
+	st.CommitWaitNs = ss.CommitWaitNs
+	return st
 }
 
 // Close checkpoints and closes the store.
 func (m *Manager) Close() error {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil
 	}
+	m.drainAppliesLocked()
 	ckErr := m.checkpointLocked()
 	logErr := m.log.Close()
 	fErr := m.f.Close()

@@ -58,8 +58,8 @@ type Op struct {
 	Data []byte // OpWrite only
 }
 
-// Stats counts storage activity; experiment E10 reports these alongside
-// throughput.
+// Stats counts storage activity; experiments E10 and E16 report these
+// alongside throughput.
 type Stats struct {
 	Reads      uint64 // object reads served
 	Writes     uint64 // object writes applied
@@ -68,6 +68,13 @@ type Stats struct {
 	PageWrites uint64 // pages written to disk (eos only)
 	CacheHits  uint64 // buffer-pool hits (eos only)
 	LogBytes   uint64 // WAL bytes appended (eos only)
+
+	// Group-commit observability (eos only; see internal/wal).
+	Fsyncs       uint64 // WAL fsyncs issued
+	GroupCommits uint64 // commits made durable (GroupCommits/Fsyncs = avg batch)
+	BatchMin     uint64 // smallest commits-per-fsync batch seen
+	BatchMax     uint64 // largest commits-per-fsync batch seen
+	CommitWaitNs uint64 // total time committers waited for durability
 }
 
 // Manager is the storage-manager seam shared by eos and dali.

@@ -5,12 +5,21 @@
 //
 // The log is redo-only under a no-steal policy: a transaction's updates
 // are buffered by the transaction manager and reach the log only at
-// commit, as a single batch terminated by a commit record and fsynced
-// once. Recovery therefore replays exactly the transactions whose commit
-// record survived; a torn tail (partial batch from a crash mid-commit) is
+// commit, as a single batch terminated by a commit record. Recovery
+// therefore replays exactly the transactions whose commit record
+// survived; a torn tail (partial batch from a crash mid-commit) is
 // detected by CRC and truncated. In-transaction rollback — including the
 // rollback of trigger FSM states required by §5.5 — never touches the log;
 // it is served from in-memory before-images.
+//
+// Durability uses group commit: AppendCommit buffers a transaction's
+// records (contiguously, under the append lock) and WaitDurable blocks
+// until an fsync covers them. Committers that arrive while an fsync is in
+// flight do not issue their own — a leader-follower protocol elects one
+// waiter to flush and fsync everything buffered so far, then wakes every
+// committer whose records the sync covered. Under N concurrent
+// committers the steady state is one fsync per *batch* of commits rather
+// than one per commit, which is the dominant cost on the commit path.
 //
 // Record format (little endian):
 //
@@ -27,7 +36,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"runtime"
 	"sync"
+	"time"
 )
 
 // LSN is a log sequence number: the byte offset of a record.
@@ -81,13 +92,45 @@ const headerSize = 8 // length + crc
 // ErrCorrupt reports a CRC mismatch mid-log (not at the tail).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Log is an append-only, CRC-checked record log.
+var errClosed = errors.New("wal: log closed")
+
+// SyncStats reports group-commit activity; the storage manager surfaces
+// these through storage.Stats.
+type SyncStats struct {
+	// Fsyncs is the number of fsync calls issued on the log file.
+	Fsyncs uint64
+	// Commits is the number of AppendCommit batches made durable. With
+	// group commit Commits/Fsyncs is the average coalescing factor.
+	Commits uint64
+	// BatchMin and BatchMax bound the number of commits covered by a
+	// single fsync (0 until the first commit-carrying sync).
+	BatchMin uint64
+	BatchMax uint64
+	// CommitWaitNs is the total time committers spent waiting for
+	// durability (from append-complete to fsync-covered).
+	CommitWaitNs uint64
+}
+
+// Log is an append-only, CRC-checked record log with group commit.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	size int64
-	path string
+	// mu serializes appends: the buffered writer, the logical size, and
+	// the count of commits not yet covered by a sync.
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	size     int64
+	unsynced uint64 // commits appended since the last sync snapshot
+	path     string
+
+	// gc is the group-commit state: a condvar protocol where at most one
+	// committer (the leader) runs flush+fsync while followers wait. It is
+	// never held across I/O or while acquiring mu.
+	gc      sync.Mutex
+	gcCond  *sync.Cond
+	durable int64 // bytes proven on stable storage
+	syncing bool  // a leader is mid-fsync
+	syncErr error // sticky: a failed fsync wedges the log
+	stats   SyncStats
 }
 
 // Open opens (creating if needed) the log at path. It validates the
@@ -98,6 +141,7 @@ func Open(path string) (*Log, error) {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
 	l := &Log{f: f, path: path}
+	l.gcCond = sync.NewCond(&l.gc)
 	valid, err := l.validPrefix()
 	if err != nil {
 		f.Close()
@@ -112,21 +156,24 @@ func Open(path string) (*Log, error) {
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
 	l.size = valid
+	l.durable = valid
 	l.w = bufio.NewWriterSize(f, 1<<16)
 	return l, nil
 }
 
 // validPrefix scans the file and returns the length of the longest valid
-// record prefix.
+// record prefix. The payload buffer is reused across records so
+// recovering a large log does not churn the allocator.
 func (l *Log) validPrefix() (int64, error) {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
 	r := bufio.NewReaderSize(l.f, 1<<16)
 	var off int64
-	hdr := make([]byte, headerSize)
+	var hdr [headerSize]byte
+	var payload []byte
 	for {
-		if _, err := io.ReadFull(r, hdr); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return off, nil // clean EOF or torn header: keep prefix
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
@@ -134,7 +181,10 @@ func (l *Log) validPrefix() (int64, error) {
 		if length > 1<<30 {
 			return off, nil // implausible length: torn tail
 		}
-		payload := make([]byte, length)
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return off, nil
 		}
@@ -146,14 +196,18 @@ func (l *Log) validPrefix() (int64, error) {
 }
 
 // Append buffers a record and returns its LSN. The record is not durable
-// until Flush returns.
+// until Flush (or a commit covering it) returns.
 func (l *Log) Append(rec *Record) (LSN, error) {
-	payload := encode(rec)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(rec)
+}
+
+func (l *Log) appendLocked(rec *Record) (LSN, error) {
 	if l.w == nil {
-		return 0, errors.New("wal: log closed")
+		return 0, errClosed
 	}
+	payload := encode(rec)
 	lsn := LSN(l.size)
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -168,35 +222,150 @@ func (l *Log) Append(rec *Record) (LSN, error) {
 	return lsn, nil
 }
 
-// AppendBatch appends several records and flushes them durably with a
-// single fsync — the commit path.
-func (l *Log) AppendBatch(recs []Record) error {
-	for i := range recs {
-		if _, err := l.Append(&recs[i]); err != nil {
-			return err
-		}
-	}
-	return l.Flush()
-}
-
-// Flush forces buffered records to stable storage (fsync).
-func (l *Log) Flush() error {
+// AppendCommit buffers one transaction's records contiguously (a single
+// append critical section) and returns the durability target: the log
+// size the commit needs covered by fsync. It does not wait — pair with
+// WaitDurable. The batch counts as one commit for group-commit stats.
+func (l *Log) AppendCommit(recs []Record) (int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.flushLocked()
+	for i := range recs {
+		if _, err := l.appendLocked(&recs[i]); err != nil {
+			return 0, err
+		}
+	}
+	l.unsynced++
+	return l.size, nil
 }
 
-func (l *Log) flushLocked() error {
+// WaitDurable blocks until every byte up to target is on stable storage,
+// issuing (or joining) a group-commit fsync as needed.
+func (l *Log) WaitDurable(target int64) error {
+	start := time.Now()
+	err := l.waitDurable(target)
+	l.gc.Lock()
+	l.stats.CommitWaitNs += uint64(time.Since(start).Nanoseconds())
+	l.gc.Unlock()
+	return err
+}
+
+// waitDurable is the leader-follower protocol. A caller whose target is
+// not yet durable either becomes the leader (no sync in flight: flush the
+// buffer, snapshot the covered commit count, fsync, publish, broadcast)
+// or waits for the current leader and re-checks — by which time the next
+// sync covers its records too, because they were appended before it
+// started waiting.
+//
+// The durable check precedes the error check on purpose: records already
+// on stable storage are committed no matter what happened to a later
+// sync, and the storage manager relies on this — an error from
+// waitDurable means the target is not durable and (the error being
+// sticky) never will be.
+func (l *Log) waitDurable(target int64) error {
+	l.gc.Lock()
+	for {
+		if l.durable >= target {
+			l.gc.Unlock()
+			return nil
+		}
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.gc.Unlock()
+			return err
+		}
+		if l.syncing {
+			l.gcCond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.gc.Unlock()
+
+		// Give every runnable committer a chance to append before the
+		// flush snapshot: a leader elected right after the previous sync
+		// would otherwise race ahead of the committers that sync woke,
+		// fsyncing a batch of one while they queue up for the next. One
+		// yield costs ~ns when no one else is runnable and collects the
+		// whole batch when the commit load is concurrent.
+		runtime.Gosched()
+
+		upTo, batch, err := l.doSync()
+
+		l.gc.Lock()
+		l.syncing = false
+		if err != nil {
+			l.syncErr = err
+		} else {
+			if upTo > l.durable {
+				l.durable = upTo
+			}
+			l.stats.Fsyncs++
+			l.stats.Commits += batch
+			if batch > 0 {
+				if l.stats.BatchMin == 0 || batch < l.stats.BatchMin {
+					l.stats.BatchMin = batch
+				}
+				if batch > l.stats.BatchMax {
+					l.stats.BatchMax = batch
+				}
+			}
+		}
+		l.gcCond.Broadcast()
+		// Loop: the top of the loop returns nil or the sticky error.
+	}
+}
+
+// doSync flushes the buffered writer (under the append lock, so the
+// covered size and commit count are a consistent snapshot) and fsyncs
+// outside all locks — appends proceed concurrently with the fsync and
+// are covered by the next one.
+func (l *Log) doSync() (upTo int64, batch uint64, err error) {
+	l.mu.Lock()
 	if l.w == nil {
-		return errors.New("wal: log closed")
+		l.mu.Unlock()
+		return 0, 0, errClosed
 	}
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
+		l.mu.Unlock()
+		return 0, 0, fmt.Errorf("wal: flush: %w", err)
 	}
+	upTo = l.size
+	batch = l.unsynced
+	l.unsynced = 0
+	l.mu.Unlock()
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+		return 0, 0, fmt.Errorf("wal: sync: %w", err)
 	}
-	return nil
+	return upTo, batch, nil
+}
+
+// AppendBatch appends several records and waits until they are durable —
+// the one-call commit path (one transaction per call).
+func (l *Log) AppendBatch(recs []Record) error {
+	target, err := l.AppendCommit(recs)
+	if err != nil {
+		return err
+	}
+	return l.WaitDurable(target)
+}
+
+// Flush forces buffered records to stable storage (fsync), joining any
+// in-flight group commit.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	if l.w == nil {
+		l.mu.Unlock()
+		return errClosed
+	}
+	target := l.size
+	l.mu.Unlock()
+	return l.waitDurable(target)
+}
+
+// SyncStats returns a snapshot of group-commit counters.
+func (l *Log) SyncStats() SyncStats {
+	l.gc.Lock()
+	defer l.gc.Unlock()
+	return l.stats
 }
 
 // Scan replays every record in LSN order. Buffered records are flushed
@@ -245,10 +414,14 @@ func (l *Log) Scan(fn func(LSN, *Record) error) error {
 }
 
 // Truncate discards the whole log (after a checkpoint has made the store
-// durable) and starts over.
+// durable) and starts over. The caller must ensure no commit is in
+// flight (the storage manager drains committers first).
 func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.w == nil {
+		return errClosed
+	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
@@ -262,7 +435,12 @@ func (l *Log) Truncate() error {
 		return err
 	}
 	l.size = 0
+	l.unsynced = 0
 	l.w.Reset(l.f)
+	l.gc.Lock()
+	l.durable = 0
+	l.gcCond.Broadcast()
+	l.gc.Unlock()
 	return nil
 }
 
@@ -273,18 +451,42 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
-// Close flushes and closes the log file.
+// Close flushes, fsyncs, and closes the log file. Committers still
+// waiting for durability are released: their records are covered by the
+// final sync.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.w == nil {
+		l.mu.Unlock()
 		return nil
 	}
-	flushErr := l.flushLocked()
-	closeErr := l.f.Close()
+	flushErr := l.w.Flush()
+	upTo := l.size
 	l.w = nil
+	l.mu.Unlock()
+
+	var syncErr error
+	if flushErr == nil {
+		syncErr = l.f.Sync()
+	}
+	closeErr := l.f.Close()
+
+	l.gc.Lock()
+	if flushErr == nil && syncErr == nil {
+		if upTo > l.durable {
+			l.durable = upTo
+		}
+	} else if l.syncErr == nil {
+		l.syncErr = errClosed
+	}
+	l.gcCond.Broadcast()
+	l.gc.Unlock()
+
 	if flushErr != nil {
-		return flushErr
+		return fmt.Errorf("wal: flush: %w", flushErr)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("wal: sync: %w", syncErr)
 	}
 	return closeErr
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -254,6 +255,89 @@ func TestEmptyDataRecord(t *testing.T) {
 	got := scanAll(t, l)
 	if len(got) != 1 || got[0].Data != nil {
 		t.Fatalf("empty-data record: %+v", got)
+	}
+}
+
+// TestGroupCommitConcurrent hammers AppendBatch from many committers.
+// Every batch must come back durable, batches must stay contiguous in the
+// log (AppendCommit appends a transaction's records in one critical
+// section), and the group-commit counters must add up.
+func TestGroupCommitConcurrent(t *testing.T) {
+	l, _ := openTemp(t)
+	const committers, per = 8, 25
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-gate
+			for i := 0; i < per; i++ {
+				txn := uint64(w*per + i + 1)
+				err := l.AppendBatch([]Record{
+					{Type: RecUpdate, Txn: txn, OID: uint64(w), Data: []byte("v")},
+					{Type: RecCommit, Txn: txn},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	close(gate)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	recs := scanAll(t, l)
+	if len(recs) != committers*per*2 {
+		t.Fatalf("scanned %d records, want %d", len(recs), committers*per*2)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < len(recs); i += 2 {
+		u, c := recs[i], recs[i+1]
+		if u.Type != RecUpdate || c.Type != RecCommit || u.Txn != c.Txn {
+			t.Fatalf("batch at record %d not contiguous: %+v then %+v", i, u, c)
+		}
+		if seen[u.Txn] {
+			t.Fatalf("txn %d appears twice", u.Txn)
+		}
+		seen[u.Txn] = true
+	}
+
+	st := l.SyncStats()
+	if st.Commits != committers*per {
+		t.Fatalf("Commits = %d, want %d", st.Commits, committers*per)
+	}
+	if st.Fsyncs == 0 || st.Fsyncs > st.Commits {
+		t.Fatalf("Fsyncs = %d (Commits = %d)", st.Fsyncs, st.Commits)
+	}
+	if st.BatchMin == 0 || st.BatchMax < st.BatchMin || st.BatchMax > committers {
+		t.Fatalf("batch bounds min=%d max=%d", st.BatchMin, st.BatchMax)
+	}
+	if st.CommitWaitNs == 0 {
+		t.Fatal("CommitWaitNs = 0 after waiting commits")
+	}
+}
+
+// TestSyncStatsSingleCommitter: with no concurrency there is nothing to
+// coalesce — exactly one fsync per commit, batches of one.
+func TestSyncStatsSingleCommitter(t *testing.T) {
+	l, _ := openTemp(t)
+	const n = 10
+	for i := 1; i <= n; i++ {
+		if err := l.AppendBatch([]Record{{Type: RecCommit, Txn: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.SyncStats()
+	if st.Commits != n || st.Fsyncs != n {
+		t.Fatalf("Commits=%d Fsyncs=%d, want %d each", st.Commits, st.Fsyncs, n)
+	}
+	if st.BatchMin != 1 || st.BatchMax != 1 {
+		t.Fatalf("batch min/max = %d/%d, want 1/1", st.BatchMin, st.BatchMax)
 	}
 }
 
