@@ -149,6 +149,8 @@ func main() {
 	fmt.Printf("group commit: %d commits over %d fsyncs (batch min/avg/max %d/%.1f/%d), %.2fms total commit wait\n",
 		st.GroupCommits, st.Fsyncs, st.BatchMin, avg, st.BatchMax,
 		float64(st.CommitWaitNs)/1e6)
+	fmt.Printf("fault recovery: %d WAL heals (sync failures survived by truncating back to the durable prefix)\n",
+		st.WALHeals)
 }
 
 func preview(data []byte, full bool) string {

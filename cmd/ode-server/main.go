@@ -26,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"ode"
 	"ode/internal/core"
@@ -95,6 +96,9 @@ func main() {
 	dbPath := flag.String("db", "ode-server.eos", "database file (disk store)")
 	addr := flag.String("addr", "127.0.0.1:7047", "listen address")
 	mem := flag.Bool("mem", false, "use the main-memory store instead of disk")
+	maxReq := flag.Int("max-request", server.DefaultMaxRequestBytes, "per-request size cap in bytes")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 disables)")
+	drain := flag.Duration("drain-timeout", 5*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
 	var db *ode.Database
@@ -112,7 +116,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := server.New(dbCore(db))
+	srv := server.NewWithOptions(dbCore(db), server.Options{
+		MaxRequestBytes: *maxReq,
+		IdleTimeout:     *idle,
+		DrainTimeout:    *drain,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)

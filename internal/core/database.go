@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ode/internal/event"
 	"ode/internal/eventexpr"
@@ -135,7 +136,10 @@ type Stats struct {
 	FiredDeferred    uint64
 	FiredDependent   uint64
 	FiredIndependent uint64
-	ActionErrors     uint64 // detached actions whose system txn aborted
+	ActionErrors     uint64 // detached actions that ended in an aborted system txn (permanent)
+	ActionPanics     uint64 // trigger actions that panicked (recovered, treated as errors)
+	DetachedRetries  uint64 // detached system txns re-run after a retryable abort (deadlock, transient commit failure)
+	DetachedDropped  uint64 // detached firings lost for good (permanent error or retry budget exhausted)
 }
 
 // Database is one Ode database: a storage manager plus the object and
@@ -156,6 +160,14 @@ type Database struct {
 	statsMu    sync.Mutex
 	stats      Stats
 	detachWait sync.WaitGroup
+
+	// Detached-execution retry policy (§5.5 self-healing): a dependent
+	// or !dependent firing whose system transaction aborts for a
+	// transient reason (deadlock victim, commit failure) is retried up
+	// to detachedRetries times with capped exponential backoff starting
+	// at detachedBackoff. See SetDetachedRetryPolicy.
+	detachedRetries int
+	detachedBackoff time.Duration
 }
 
 // NewDatabase opens a database over an already-opened storage manager.
@@ -168,15 +180,50 @@ func NewDatabase(store storage.Manager) (*Database, error) {
 		return nil, err
 	}
 	return &Database{
-		store:     store,
-		lm:        lm,
-		tm:        tm,
-		om:        om,
-		reg:       event.NewRegistry(),
-		byName:    make(map[string]*BoundClass),
-		byID:      make(map[uint32]*BoundClass),
-		txnStates: make(map[txn.ID]*txnState),
+		store:           store,
+		lm:              lm,
+		tm:              tm,
+		om:              om,
+		reg:             event.NewRegistry(),
+		byName:          make(map[string]*BoundClass),
+		byID:            make(map[uint32]*BoundClass),
+		txnStates:       make(map[txn.ID]*txnState),
+		detachedRetries: DefaultDetachedRetries,
+		detachedBackoff: DefaultDetachedBackoff,
 	}, nil
+}
+
+// Detached retry defaults: six attempts with 1ms→cap backoff resolve
+// every plausible deadlock/transient-commit storm without stalling the
+// committing goroutine for more than ~100ms in the worst case.
+const (
+	DefaultDetachedRetries = 6
+	DefaultDetachedBackoff = time.Millisecond
+	detachedBackoffCap     = 50 * time.Millisecond
+)
+
+// SetDetachedRetryPolicy overrides how many times a detached
+// (dependent/!dependent) firing's system transaction is retried after a
+// retryable abort, and the initial backoff between attempts (doubled
+// per retry, capped). retries = 0 disables retry — every abort is
+// final, the pre-healing behavior.
+func (db *Database) SetDetachedRetryPolicy(retries int, backoff time.Duration) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if retries < 0 {
+		retries = 0
+	}
+	if backoff <= 0 {
+		backoff = DefaultDetachedBackoff
+	}
+	db.detachedRetries = retries
+	db.detachedBackoff = backoff
+}
+
+func (db *Database) detachedRetryPolicy() (int, time.Duration) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.detachedRetries, db.detachedBackoff
 }
 
 // Store returns the storage manager.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"ode/internal/event"
 	"ode/internal/lock"
@@ -708,7 +709,7 @@ func (st *txnState) runAction(f firedRec) error {
 	}
 	ctx := &Ctx{db: st.db, tx: st.tx, ref: f.ref}
 	act := &Activation{Trigger: f.rec.Name, Args: f.rec.Args, Ref: f.ref, ID: TriggerID{f.tsOID}, EventArgs: f.evArgs}
-	if err := f.bt.Def.Action(ctx, inst.val, act); err != nil {
+	if err := st.callAction(f, ctx, inst.val, act); err != nil {
 		return fmt.Errorf("core: trigger %s action: %w", f.bt.Def.Name, err)
 	}
 	after, err := encodeInstance(inst.val)
@@ -724,29 +725,78 @@ func (st *txnState) runAction(f firedRec) error {
 	return st.db.om.Update(st.tx, f.ref.oid, after)
 }
 
+// callAction invokes the trigger action with panic isolation: a
+// panicking action is converted into an action error — the surrounding
+// transaction aborts (or the detached firing is dropped as permanent),
+// but the process survives.
+func (st *txnState) callAction(f firedRec, ctx *Ctx, self any, act *Activation) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.db.bump(func(s *Stats) { s.ActionPanics++ })
+			err = fmt.Errorf("action panicked: %v", r)
+		}
+	}()
+	return f.bt.Def.Action(ctx, self, act)
+}
+
 // runDetached executes dependent/!dependent firings, each in its own
-// system transaction (§5.5). Failures abort that system transaction only.
+// system transaction (§5.5). Failures abort that system transaction
+// only — and, because dropping a detected firing on a transient fault
+// would make trigger semantics nondeterministic under failure, aborts
+// classified as retryable (deadlock victimization, commit failures such
+// as a healed WAL fsync error) are retried with capped exponential
+// backoff until the firing commits or the retry budget runs out.
 func (db *Database) runDetached(list []firedRec, counter *uint64) {
 	for _, f := range list {
+		db.runDetachedOne(f, counter)
+	}
+}
+
+func (db *Database) runDetachedOne(f firedRec, counter *uint64) {
+	budget, backoff := db.detachedRetryPolicy()
+	for attempt := 0; ; attempt++ {
 		sys := db.tm.BeginSystem()
 		st := db.state(sys)
 		err := st.runAction(f)
-		if err == nil && !sys.Doomed() {
+		doomed := sys.Doomed()
+		if err == nil && !doomed {
 			err = sys.Commit()
-		} else {
-			if abortErr := sys.Abort(); abortErr != nil && err == nil {
-				err = abortErr
-			} else if err == nil {
-				err = txn.ErrAborted
+			if err == nil {
+				db.bump(func(s *Stats) { *counter++ })
+				return
 			}
+		} else if sys.State() == txn.Active {
+			_ = sys.Abort()
 		}
-		db.statsMu.Lock()
-		*counter++
-		if err != nil {
-			db.stats.ActionErrors++
+		if err == nil && doomed {
+			// The action itself requested the abort (tabort): that is a
+			// semantic outcome, not a fault — the firing ran to
+			// completion and deliberately discarded its effects.
+			// Retrying would doom again, deterministically.
+			db.bump(func(s *Stats) { *counter++; s.ActionErrors++ })
+			return
 		}
-		db.statsMu.Unlock()
+		if attempt < budget && retryableDetached(err) {
+			db.bump(func(s *Stats) { s.DetachedRetries++ })
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > detachedBackoffCap {
+				backoff = detachedBackoffCap
+			}
+			continue
+		}
+		// Permanent failure (action error, panic) or budget exhausted:
+		// the firing is lost and the loss is counted, not silent.
+		db.bump(func(s *Stats) { *counter++; s.ActionErrors++; s.DetachedDropped++ })
+		return
 	}
+}
+
+// retryableDetached classifies a detached system transaction's failure.
+// Deadlock victimization and internal aborts (including commit failures
+// from a transiently failing store) are worth another attempt; plain
+// action errors are deterministic and permanent.
+func retryableDetached(err error) bool {
+	return errors.Is(err, lock.ErrDeadlock) || errors.Is(err, txn.ErrAborted)
 }
 
 // commitProcessing is the §5.5 commit path: drain the end list, post

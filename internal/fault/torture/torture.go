@@ -1,0 +1,508 @@
+// Package torture is the crash-torture harness: it drives a trigger
+// workload against an eos-backed database, then attacks the resulting
+// write-ahead log — truncating it at every record boundary and at
+// offsets inside every record, injecting fsync failures, and panicking
+// at programmed crash points — and after each attack reopens the store
+// and checks the recovery invariants:
+//
+//  1. Pool state equals the replay of the durable log prefix: the set
+//     of live objects and their images after reopen is byte-identical
+//     to applying the committed transactions of the surviving log, in
+//     commit-record order.
+//  2. Trigger FSM state is never ahead of committed object state: the
+//     workload's immediate trigger mirrors each object mutation in the
+//     same transaction, so any recovered object must show
+//     Fired == Count, and its perpetual activation must still exist.
+//
+// The workload runs with checkpointing off and a cache large enough
+// that no page is ever evicted, so the page file stays header-only and
+// every log truncation point is a physically reachable crash state.
+package torture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ode/internal/core"
+	"ode/internal/fault"
+	"ode/internal/storage"
+	"ode/internal/storage/eos"
+	"ode/internal/wal"
+)
+
+// Config sizes the trigger workload.
+type Config struct {
+	Objects int // objects in the torture cluster
+	Txns    int // user transactions (one Bump each, round-robin)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objects <= 0 {
+		c.Objects = 4
+	}
+	if c.Txns <= 0 {
+		c.Txns = 30
+	}
+	return c
+}
+
+const (
+	clusterName = "torture"
+	// cachePages is large enough that the workload never evicts a page:
+	// eviction would flush post-crash-point data into the page file and
+	// make log truncation an unreachable crash state.
+	cachePages = 4096
+)
+
+// TAcct is the workload object. Count moves in the method body, Fired
+// in the immediate trigger's action — always in the same transaction,
+// so committed state must have them equal at every recovery point.
+type TAcct struct {
+	Count int
+	Fired int
+}
+
+func tortureClass() *core.Class {
+	return core.MustClass("TAcct",
+		core.Factory(func() any { return new(TAcct) }),
+		core.Method("Bump", func(ctx *core.Ctx, self any, args []any) (any, error) {
+			self.(*TAcct).Count++
+			return nil, nil
+		}),
+		core.Method("MarkFired", func(ctx *core.Ctx, self any, args []any) (any, error) {
+			self.(*TAcct).Fired++
+			return nil, nil
+		}),
+		core.Events("after Bump"),
+		core.Trigger("Mirror", "after Bump",
+			func(ctx *core.Ctx, self any, act *core.Activation) error {
+				_, err := ctx.Invoke(ctx.Self(), "MarkFired")
+				return err
+			},
+			core.Perpetual()),
+	)
+}
+
+// workload opens the store at path (wrapping the WAL file with schedule
+// when non-nil), registers the class, creates the cluster, and runs the
+// Bump transactions. acked[i] counts the durably acknowledged bumps of
+// object i. The store is NOT closed: the caller either crashes (copies
+// the files) or abandons it.
+func workload(path string, cfg Config, schedule *fault.Schedule, arm func()) (acked []int, err error) {
+	opts := eos.Options{CacheSize: cachePages, NoAutoCheckpoint: true}
+	if schedule != nil {
+		opts.WALFile = func(f wal.File) wal.File { return fault.Wrap(f, schedule) }
+	}
+	m, err := eos.Open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	db, err := core.NewDatabase(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if err := db.Register(tortureClass()); err != nil {
+		return nil, err
+	}
+	refs := make([]core.Ref, cfg.Objects)
+	tx := db.Begin()
+	for i := range refs {
+		if refs[i], err = db.Create(tx, "TAcct", &TAcct{}); err != nil {
+			return nil, err
+		}
+		if err := db.ClusterAdd(tx, clusterName, refs[i]); err != nil {
+			return nil, err
+		}
+		if _, err := db.Activate(tx, refs[i], "Mirror"); err != nil {
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, fmt.Errorf("torture: setup commit: %w", err)
+	}
+	if arm != nil {
+		arm() // faults start only after the clean setup commit
+	}
+	acked = make([]int, cfg.Objects)
+	for i := 0; i < cfg.Txns; i++ {
+		obj := i % cfg.Objects
+		tx := db.Begin()
+		if _, err := db.Invoke(tx, refs[obj], "Bump"); err != nil {
+			tx.Abort()
+			continue
+		}
+		if err := tx.Commit(); err == nil {
+			acked[obj]++
+		}
+	}
+	// Crash invariant: nothing may have leaked into the page file, or
+	// truncating the log would not be a reachable crash state.
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() > eos.PageSize {
+		return nil, fmt.Errorf("torture: page file grew to %d bytes (eviction or checkpoint ran); truncation states would be unreachable", st.Size())
+	}
+	return acked, nil
+}
+
+func copyFile(src, dst string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}
+
+// replayModel computes the object state a correct recovery must
+// reconstruct from the log at walPath: committed transactions only,
+// applied at their commit records, in commit order. Opening the log
+// heals a torn tail exactly as recovery would.
+func replayModel(walPath string) (map[storage.OID][]byte, error) {
+	l, err := wal.Open(walPath)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	model := make(map[storage.OID][]byte)
+	pending := make(map[uint64][]storage.Op)
+	err = l.Scan(func(_ wal.LSN, rec *wal.Record) error {
+		switch rec.Type {
+		case wal.RecUpdate, wal.RecAllocate:
+			data := append([]byte(nil), rec.Data...)
+			pending[rec.Txn] = append(pending[rec.Txn], storage.Op{Kind: storage.OpWrite, OID: storage.OID(rec.OID), Data: data})
+		case wal.RecFree:
+			pending[rec.Txn] = append(pending[rec.Txn], storage.Op{Kind: storage.OpFree, OID: storage.OID(rec.OID)})
+		case wal.RecCommit:
+			for _, op := range pending[rec.Txn] {
+				if op.Kind == storage.OpWrite {
+					model[op.OID] = op.Data
+				} else {
+					delete(model, op.OID)
+				}
+			}
+			delete(pending, rec.Txn)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// verifyPoint materializes the crash state "page file + log prefix of T
+// bytes" in its own directory, reopens, and checks both invariants.
+func verifyPoint(pagePath string, walBytes []byte, t int64, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	dst := filepath.Join(dir, "s.eos")
+	if err := copyFile(pagePath, dst); err != nil {
+		return err
+	}
+	if err := os.WriteFile(dst+".wal", walBytes[:t], 0o644); err != nil {
+		return err
+	}
+
+	want, err := replayModel(dst + ".wal")
+	if err != nil {
+		return fmt.Errorf("t=%d: model replay: %w", t, err)
+	}
+	m, err := eos.Open(dst, eos.Options{CacheSize: cachePages, NoAutoCheckpoint: true})
+	if err != nil {
+		return fmt.Errorf("t=%d: reopen: %w", t, err)
+	}
+	got := make(map[storage.OID][]byte)
+	if err := m.Iterate(func(oid storage.OID, data []byte) error {
+		got[oid] = append([]byte(nil), data...)
+		return nil
+	}); err != nil {
+		m.Close()
+		return fmt.Errorf("t=%d: iterate: %w", t, err)
+	}
+	for oid, w := range want {
+		g, ok := got[oid]
+		if !ok {
+			m.Close()
+			return fmt.Errorf("t=%d: oid %d in durable prefix but missing after recovery", t, oid)
+		}
+		if !bytes.Equal(g, w) {
+			m.Close()
+			return fmt.Errorf("t=%d: oid %d image diverges from durable-prefix replay", t, oid)
+		}
+	}
+	for oid := range got {
+		if _, ok := want[oid]; !ok {
+			m.Close()
+			return fmt.Errorf("t=%d: oid %d visible after recovery but not in durable prefix", t, oid)
+		}
+	}
+	return verifyTriggerConsistency(m, t)
+}
+
+// verifyTriggerConsistency opens a database over the recovered store and
+// checks invariant 2 for every cluster member. It closes the store.
+func verifyTriggerConsistency(m *eos.Manager, t int64) error {
+	db, err := core.NewDatabase(m)
+	if err != nil {
+		m.Close()
+		return fmt.Errorf("t=%d: core reopen: %w", t, err)
+	}
+	defer db.Close()
+	if err := db.Register(tortureClass()); err != nil {
+		return fmt.Errorf("t=%d: re-register: %w", t, err)
+	}
+	tx := db.Begin()
+	defer tx.Abort()
+	return db.ClusterScan(tx, clusterName, func(ref core.Ref) error {
+		v, err := db.Get(tx, ref)
+		if err != nil {
+			return fmt.Errorf("t=%d: get %v: %w", t, ref, err)
+		}
+		a := v.(*TAcct)
+		if a.Fired != a.Count {
+			return fmt.Errorf("t=%d: %v recovered Fired=%d Count=%d; trigger effects diverged from object state", t, ref, a.Fired, a.Count)
+		}
+		infos, err := db.ActiveTriggers(tx, ref)
+		if err != nil {
+			return fmt.Errorf("t=%d: triggers on %v: %w", t, ref, err)
+		}
+		if len(infos) != 1 || infos[0].Trigger != "Mirror" {
+			return fmt.Errorf("t=%d: %v has activations %+v, want the one perpetual Mirror", t, ref, infos)
+		}
+		return nil
+	})
+}
+
+// SweepResult reports what a truncation sweep covered.
+type SweepResult struct {
+	Commits    int // acknowledged workload transactions
+	Records    int // records in the attacked log
+	Boundaries int // record-boundary truncation points verified
+	MidRecord  int // intra-record truncation points verified
+}
+
+// Sweep runs the workload in dir, then verifies recovery at every
+// record boundary of the resulting log and at offsets inside every
+// record (first byte of the record body and the record midpoint).
+func Sweep(dir string, cfg Config) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	path := filepath.Join(dir, "work.eos")
+	acked, err := workload(path, cfg, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{}
+	for _, n := range acked {
+		res.Commits += n
+	}
+	if res.Commits != cfg.Txns {
+		return nil, fmt.Errorf("torture: fault-free workload acked %d/%d txns", res.Commits, cfg.Txns)
+	}
+	walBytes, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		return nil, err
+	}
+
+	// Record extents, from a scratch copy (Open may truncate in place).
+	scratch := filepath.Join(dir, "extents.wal")
+	if err := os.WriteFile(scratch, walBytes, 0o644); err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(scratch)
+	if err != nil {
+		return nil, err
+	}
+	var starts []int64
+	if err := l.Scan(func(lsn wal.LSN, _ *wal.Record) error {
+		starts = append(starts, int64(lsn))
+		return nil
+	}); err != nil {
+		l.Close()
+		return nil, err
+	}
+	end := l.Size()
+	l.Close()
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("torture: workload produced an empty log")
+	}
+	res.Records = len(starts)
+
+	points := make(map[int64]bool) // point -> is mid-record
+	for i, s := range starts {
+		e := end
+		if i+1 < len(starts) {
+			e = starts[i+1]
+		}
+		points[s] = false
+		if s+1 < e {
+			points[s+1] = true // torn inside the record header
+		}
+		if mid := s + (e-s)/2; mid > s && mid < e {
+			points[mid] = true // torn mid-record
+		}
+	}
+	points[end] = false
+
+	pointDir := filepath.Join(dir, "points")
+	for t, mid := range points {
+		if err := verifyPoint(path, walBytes, t, pointDir); err != nil {
+			return nil, err
+		}
+		if mid {
+			res.MidRecord++
+		} else {
+			res.Boundaries++
+		}
+	}
+	return res, nil
+}
+
+// FaultResult reports a sync-fault torture run.
+type FaultResult struct {
+	Acked  int    // transactions acknowledged committed
+	Failed int    // transactions that observed an injected failure
+	Heals  uint64 // WAL heals the store performed to keep going
+}
+
+// SyncFaults runs the workload with fsync failing at the given rate
+// (deterministically, from seed), relying on the store's self-healing
+// to keep committing, then crashes and verifies that recovered state is
+// exactly the acknowledged prefix: every acked bump present, every
+// failed bump absent, trigger effects in lockstep.
+func SyncFaults(dir string, cfg Config, rate float64, seed int64) (*FaultResult, error) {
+	cfg = cfg.withDefaults()
+	path := filepath.Join(dir, "faulty.eos")
+	s := fault.NewSchedule()
+	acked, err := workload(path, cfg, s, func() { s.FailSyncRate(rate, seed) })
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultResult{}
+	for _, n := range acked {
+		res.Acked += n
+	}
+	res.Failed = cfg.Txns - res.Acked
+
+	// Crash: reopen from the files alone, with no fault wrapper (the
+	// injected failures died with the "process").
+	walBytes, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		return nil, err
+	}
+	crashDir := filepath.Join(dir, "crash")
+	if err := os.MkdirAll(crashDir, 0o755); err != nil {
+		return nil, err
+	}
+	dst := filepath.Join(crashDir, "s.eos")
+	if err := copyFile(path, dst); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(dst+".wal", walBytes, 0o644); err != nil {
+		return nil, err
+	}
+	m, err := eos.Open(dst, eos.Options{CacheSize: cachePages, NoAutoCheckpoint: true})
+	if err != nil {
+		return nil, fmt.Errorf("torture: reopen after sync faults: %w", err)
+	}
+	res.Heals = m.Stats().WALHeals // zero here; heals happened pre-crash
+	db, err := core.NewDatabase(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	defer db.Close()
+	if err := db.Register(tortureClass()); err != nil {
+		return nil, err
+	}
+	tx := db.Begin()
+	defer tx.Abort()
+	i := 0
+	err = db.ClusterScan(tx, clusterName, func(ref core.Ref) error {
+		v, err := db.Get(tx, ref)
+		if err != nil {
+			return err
+		}
+		a := v.(*TAcct)
+		if a.Count != acked[i] {
+			return fmt.Errorf("torture: object %d recovered Count=%d, want %d acked bumps (lost or phantom commit)", i, a.Count, acked[i])
+		}
+		if a.Fired != a.Count {
+			return fmt.Errorf("torture: object %d recovered Fired=%d Count=%d", i, a.Fired, a.Count)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if i != cfg.Objects {
+		return nil, fmt.Errorf("torture: recovered %d cluster members, want %d", i, cfg.Objects)
+	}
+	return res, nil
+}
+
+// CrashPoints runs the workload once per entry in syncNs, panicking at
+// the n-th fsync via a programmed crash point, and verifies recovery
+// from the files left behind. Returns how many crashes were exercised.
+func CrashPoints(dir string, cfg Config, syncNs []uint64) (int, error) {
+	cfg = cfg.withDefaults()
+	crashes := 0
+	for _, n := range syncNs {
+		sub := filepath.Join(dir, fmt.Sprintf("crash-%d", n))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return crashes, err
+		}
+		path := filepath.Join(sub, "work.eos")
+		crashed, err := runToCrash(path, cfg, n)
+		if err != nil {
+			return crashes, err
+		}
+		if !crashed {
+			// The workload finished before the n-th fsync; still verify.
+			if err := verifyAfterCrash(path); err != nil {
+				return crashes, err
+			}
+			continue
+		}
+		crashes++
+		if err := verifyAfterCrash(path); err != nil {
+			return crashes, fmt.Errorf("crash at fsync %d: %w", n, err)
+		}
+	}
+	return crashes, nil
+}
+
+// runToCrash executes the workload under a CrashAt schedule, absorbing
+// the simulated machine crash. The wedged manager is abandoned, exactly
+// as a kill -9 would abandon it.
+func runToCrash(path string, cfg Config, n uint64) (crashed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fault.Crash); ok {
+				crashed = true
+				err = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	_, err = workload(path, cfg, fault.NewSchedule().CrashAt(fault.OpSync, n), nil)
+	return false, err
+}
+
+// verifyAfterCrash reopens the crash state in place and checks the
+// trigger-consistency invariant over whatever committed.
+func verifyAfterCrash(path string) error {
+	m, err := eos.Open(path, eos.Options{CacheSize: cachePages, NoAutoCheckpoint: true})
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	return verifyTriggerConsistency(m, -1)
+}

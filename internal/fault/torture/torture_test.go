@@ -1,0 +1,57 @@
+package torture
+
+import "testing"
+
+// TestTruncationSweep is the core torture run: recovery must be correct
+// at every record boundary and inside every record of the workload log.
+func TestTruncationSweep(t *testing.T) {
+	res, err := Sweep(t.TempDir(), Config{Objects: 3, Txns: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 24 {
+		t.Fatalf("commits = %d, want 24", res.Commits)
+	}
+	// Sanity on coverage: the log must contain at least one record per
+	// transaction plus its commit record, and the sweep must have hit
+	// both boundary and intra-record offsets.
+	if res.Records < 48 {
+		t.Fatalf("only %d records in the workload log", res.Records)
+	}
+	if res.Boundaries < res.Records || res.MidRecord < res.Records {
+		t.Fatalf("coverage too thin: %d boundary + %d mid-record points over %d records",
+			res.Boundaries, res.MidRecord, res.Records)
+	}
+	t.Logf("verified %d boundary + %d mid-record truncation points over %d records",
+		res.Boundaries, res.MidRecord, res.Records)
+}
+
+// TestSyncFaultTorture injects a 20%% fsync failure rate: the store must
+// self-heal and keep committing, and after a crash the recovered state
+// must be exactly the acknowledged prefix.
+func TestSyncFaultTorture(t *testing.T) {
+	res, err := SyncFaults(t.TempDir(), Config{Objects: 4, Txns: 80}, 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed == 0 {
+		t.Fatal("no injected failures at rate 0.2 — the schedule is not biting")
+	}
+	if res.Acked == 0 {
+		t.Fatal("no transaction survived: self-healing is not working")
+	}
+	t.Logf("acked %d, failed %d under 20%% fsync faults", res.Acked, res.Failed)
+}
+
+// TestCrashPointPanics simulates power loss at programmed fsyncs. Every
+// left-behind state must recover with trigger effects consistent.
+func TestCrashPointPanics(t *testing.T) {
+	crashes, err := CrashPoints(t.TempDir(), Config{Objects: 2, Txns: 12}, []uint64{1, 2, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashes == 0 {
+		t.Fatal("no crash point fired")
+	}
+	t.Logf("%d crash points exercised", crashes)
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ode/internal/core"
+	"ode/internal/storage/dali"
+)
+
+func startServerOpts(t *testing.T, opts Options) (addr string, srv *Server) {
+	t.Helper()
+	db, err := core.NewDatabase(dali.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(credCardClass()); err != nil {
+		t.Fatal(err)
+	}
+	srv = NewWithOptions(db, opts)
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return addr, srv
+}
+
+// TestOversizedRequestRejected: a request over the cap gets an error
+// response and the connection is closed — the server never buffers an
+// unbounded line.
+func TestOversizedRequestRejected(t *testing.T) {
+	addr, _ := startServerOpts(t, Options{MaxRequestBytes: 1024})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 2 KiB: over the 1 KiB cap but under Scanner's 4 KiB default initial
+	// buffer, so this fails if the cap is not applied to the buffer too.
+	if _, err := conn.Write([]byte(`{"op":"begin","class":"` + strings.Repeat("x", 2048) + "\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatalf("no error response before close: %v", err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "exceeds 1024 bytes") {
+		t.Fatalf("response = %+v, want size-cap error", resp)
+	}
+	// The connection must now be closed.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after oversized request")
+	}
+}
+
+// TestIdleConnectionDisconnected: a client silent past the idle read
+// deadline is dropped and its open transaction aborted (its locks
+// released, so other sessions are not blocked forever).
+func TestIdleConnectionDisconnected(t *testing.T) {
+	addr, _ := startServerOpts(t, Options{IdleTimeout: 100 * time.Millisecond})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// Go silent. The server must hang up on us.
+	time.Sleep(400 * time.Millisecond)
+	if err := c.Commit(); err == nil {
+		t.Fatal("commit succeeded on a connection that should be idle-closed")
+	}
+}
+
+// TestHandlerPanicIsolated: an application method that panics (bad
+// argument type from the wire) must cost only that request's
+// transaction, not the server process or other sessions.
+func TestHandlerPanicIsolated(t *testing.T) {
+	addr, _ := startServerOpts(t, Options{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Create("CredCard", &CredCard{CredLim: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Buy asserts args[0].(float64); a string panics inside the method.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Invoke(ref, "Buy", "not-a-number")
+	if err == nil || !strings.Contains(err.Error(), "internal error") {
+		t.Fatalf("Invoke with bad arg type = %v, want internal error", err)
+	}
+
+	// Same connection is still usable, and the panicked transaction was
+	// aborted, so a fresh one can run to completion.
+	if err := c.Begin(); err != nil {
+		t.Fatalf("begin after panic: %v", err)
+	}
+	if _, err := c.Invoke(ref, "Buy", 100.0); err != nil {
+		t.Fatalf("invoke after panic: %v", err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatalf("commit after panic: %v", err)
+	}
+	var got CredCard
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Get(ref, &got); err != nil {
+		t.Fatal(err)
+	}
+	c.Abort()
+	if got.CurrBal != 100 {
+		t.Fatalf("CurrBal = %v, want 100 (panicked txn must have no effect)", got.CurrBal)
+	}
+}
+
+// TestCloseDrainsIdleConnections: with a drain timeout, Close completes
+// well before the timeout when sessions are merely idle — the deadline
+// nudge wakes them and they exit cleanly.
+func TestCloseDrainsIdleConnections(t *testing.T) {
+	addr, srv := startServerOpts(t, Options{DrainTimeout: 5 * time.Second})
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Close took %v; idle sessions should drain immediately", d)
+	}
+	for i, c := range clients {
+		if err := c.Commit(); err == nil {
+			t.Fatalf("client %d: commit succeeded after server Close", i)
+		}
+	}
+}

@@ -18,11 +18,13 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"ode/internal/core"
 	"ode/internal/storage"
@@ -55,9 +57,32 @@ type Response struct {
 	Value   json.RawMessage `json:"value,omitempty"`
 }
 
+// DefaultMaxRequestBytes caps a single request line when Options leaves
+// MaxRequestBytes zero.
+const DefaultMaxRequestBytes = 1 << 20
+
+// Options hardens a server against misbehaving clients.
+type Options struct {
+	// MaxRequestBytes caps one request line; an oversized request gets
+	// an error response and the connection is closed. Default
+	// DefaultMaxRequestBytes.
+	MaxRequestBytes int
+	// IdleTimeout, when positive, is the per-connection read deadline
+	// between requests: a client silent for longer is disconnected (its
+	// open transaction aborted) instead of pinning a handler goroutine
+	// and its locks forever.
+	IdleTimeout time.Duration
+	// DrainTimeout, when positive, makes Close graceful: idle readers
+	// are nudged with an expired read deadline, in-flight handlers get
+	// up to this long to write their response and exit, and only the
+	// stragglers are hard-closed.
+	DrainTimeout time.Duration
+}
+
 // Server serves one database to many connections.
 type Server struct {
-	db *core.Database
+	db   *core.Database
+	opts Options
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -66,9 +91,15 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// New wraps db in a server.
-func New(db *core.Database) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+// New wraps db in a server with default options.
+func New(db *core.Database) *Server { return NewWithOptions(db, Options{}) }
+
+// NewWithOptions wraps db in a server with explicit hardening limits.
+func NewWithOptions(db *core.Database, opts Options) *Server {
+	if opts.MaxRequestBytes <= 0 {
+		opts.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	return &Server{db: db, opts: opts, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -112,20 +143,49 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener, closes live connections (aborting their open
-// transactions), and waits for handlers to drain.
+// Close stops the listener and shuts connections down. With a
+// DrainTimeout it first gives sessions that long to finish their
+// in-flight response (idle readers are woken by an expired read
+// deadline and exit cleanly); connections still alive after the grace
+// period — and all of them when DrainTimeout is zero — are hard-closed,
+// aborting their open transactions. Close waits for every handler.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
 	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	if s.opts.DrainTimeout > 0 {
+		now := time.Now()
+		for _, c := range conns {
+			c.SetReadDeadline(now)
+		}
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+			return err
+		case <-time.After(s.opts.DrainTimeout):
+		}
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -136,7 +196,8 @@ type session struct {
 	tx *txn.Txn
 }
 
-// serve runs the request loop for one connection.
+// serve runs the request loop for one connection. Requests are read a
+// line at a time so the size cap applies before any JSON is parsed.
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	sess := &session{db: s.db}
@@ -145,15 +206,36 @@ func (s *Server) serve(conn net.Conn) {
 			sess.tx.Abort()
 		}
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	sc := bufio.NewScanner(conn)
+	// Scanner's effective token limit is max(cap(buf), max), so the
+	// initial buffer must not exceed the configured cap.
+	initial := 4096
+	if initial > s.opts.MaxRequestBytes {
+		initial = s.opts.MaxRequestBytes
+	}
+	sc.Buffer(make([]byte, initial), s.opts.MaxRequestBytes)
 	enc := json.NewEncoder(conn)
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return // disconnect or garbage
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		}
-		resp := sess.handle(&req)
-		if err := enc.Encode(resp); err != nil {
+		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				enc.Encode(&Response{Error: fmt.Sprintf("request exceeds %d bytes", s.opts.MaxRequestBytes)})
+			}
+			return // disconnect, idle deadline, or oversized request
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			// Can't trust the framing anymore: report and hang up.
+			enc.Encode(&Response{Error: "malformed request: " + err.Error()})
+			return
+		}
+		if err := enc.Encode(sess.safeHandle(&req)); err != nil {
 			return
 		}
 	}
@@ -165,6 +247,25 @@ func fail(err error) *Response {
 		r.Aborted = true
 	}
 	return r
+}
+
+// safeHandle isolates a handler panic (a bad type assertion in an
+// application method, say) to the request that caused it: the open
+// transaction is aborted, the client gets an error response, and the
+// server — and every other session — keeps running.
+func (sess *session) safeHandle(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			aborted := false
+			if sess.tx != nil && sess.tx.State() == txn.Active {
+				sess.tx.Abort()
+				aborted = true
+			}
+			sess.tx = nil
+			resp = &Response{Error: fmt.Sprintf("internal error in %q handler: %v", req.Op, r), Aborted: aborted}
+		}
+	}()
+	return sess.handle(req)
 }
 
 // handle dispatches one request.

@@ -120,6 +120,11 @@ type Options struct {
 	// NoAutoCheckpoint disables the WAL-size-triggered checkpoint
 	// (benchmarks use this to isolate costs).
 	NoAutoCheckpoint bool
+	// WALFile, when set, is interposed between the write-ahead log and
+	// its file: every WAL write, fsync, read, and truncate flows through
+	// it. The fault-injection harness (internal/fault) uses this to
+	// exercise commit and recovery paths under injected failures.
+	WALFile func(wal.File) wal.File
 }
 
 var errClosed = errors.New("eos: manager closed")
@@ -175,7 +180,11 @@ func Open(path string, opts Options) (*Manager, error) {
 		f.Close()
 		return nil, err
 	}
-	m.log, err = wal.Open(path + ".wal")
+	var walOpts []wal.Option
+	if opts.WALFile != nil {
+		walOpts = append(walOpts, wal.WithFileWrapper(opts.WALFile))
+	}
+	m.log, err = wal.Open(path+".wal", walOpts...)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -512,6 +521,10 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 		e.skip = true
 		m.drainQueueLocked(e.seq)
 		m.mu.Unlock()
+		// Self-healing: try to clear the wedged WAL so later commits can
+		// proceed. This commit still failed — the caller's transaction
+		// aborts — but the store stays usable.
+		m.healWAL()
 		return durErr
 	}
 	// Durable: every queued entry up to e.seq is durable too. Apply any
@@ -529,6 +542,28 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 		return m.Checkpoint()
 	}
 	return nil
+}
+
+// healWAL attempts to clear a sticky WAL sync error so the store
+// survives a transient fsync failure instead of failing every commit
+// forever. It fences out new commits (seqMu), waits until every
+// sequenced commit has consumed its apply slot — with the sync error
+// sticky they all fail fast — and only then asks the log to truncate
+// its non-durable suffix and re-verify the file. The pool invariant is
+// preserved: only durable commits were ever applied, and Heal discards
+// exactly the records that never became durable. Failed heals leave the
+// log wedged; the next failing committer retries.
+func (m *Manager) healWAL() {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.drainAppliesLocked()
+	m.mu.Unlock()
+	_ = m.log.Heal() // best effort; Heal is a no-op when already healthy
 }
 
 // drainQueueLocked applies (in log order) every queued entry with
@@ -904,6 +939,7 @@ func (m *Manager) Stats() storage.Stats {
 	st.BatchMin = ss.BatchMin
 	st.BatchMax = ss.BatchMax
 	st.CommitWaitNs = ss.CommitWaitNs
+	st.WALHeals = ss.Heals
 	return st
 }
 

@@ -75,6 +75,7 @@ type Stats struct {
 	BatchMin     uint64 // smallest commits-per-fsync batch seen
 	BatchMax     uint64 // largest commits-per-fsync batch seen
 	CommitWaitNs uint64 // total time committers waited for durability
+	WALHeals     uint64 // sticky WAL sync errors cleared by self-healing (eos only)
 }
 
 // Manager is the storage-manager seam shared by eos and dali.

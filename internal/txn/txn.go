@@ -190,9 +190,12 @@ func (t *Txn) lock(r lock.Resource, mode lock.Mode) error {
 	}
 	if err := t.m.locks.Lock(lock.TxnID(t.id), r, mode); err != nil {
 		if errors.Is(err, lock.ErrDeadlock) {
-			// Victim: roll back so the survivor can proceed.
+			// Victim: roll back so the survivor can proceed. The
+			// deadlock cause stays in the chain (errors.Is works for
+			// both ErrAborted and lock.ErrDeadlock), so the trigger
+			// engine can classify the abort as retryable.
 			t.rollback()
-			return fmt.Errorf("%w: %v", ErrAborted, err)
+			return fmt.Errorf("%w: %w", ErrAborted, err)
 		}
 		return err
 	}
@@ -311,7 +314,7 @@ func (t *Txn) Commit() error {
 	for i := 0; i < len(t.beforeCommit); i++ {
 		if err := t.beforeCommit[i](t); err != nil {
 			t.rollback()
-			return fmt.Errorf("%w: before-commit hook: %v", ErrAborted, err)
+			return fmt.Errorf("%w: before-commit hook: %w", ErrAborted, err)
 		}
 		if t.doomed {
 			t.rollback()
@@ -329,7 +332,7 @@ func (t *Txn) Commit() error {
 	}
 	if err := t.m.store.ApplyCommit(uint64(t.id), ops); err != nil {
 		t.rollback()
-		return fmt.Errorf("%w: apply: %v", ErrAborted, err)
+		return fmt.Errorf("%w: apply: %w", ErrAborted, err)
 	}
 	t.state = Committed
 	t.m.locks.ReleaseAll(lock.TxnID(t.id))

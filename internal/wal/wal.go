@@ -41,6 +41,34 @@ import (
 	"time"
 )
 
+// File is the file access the log needs; *os.File satisfies it. A
+// fault-injection wrapper (internal/fault) can be interposed between
+// the log and the real file via WithFileWrapper, which is how the
+// crash-torture harness and experiment E17 make fsync failures and torn
+// writes first-class, testable inputs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// Option configures Open.
+type Option func(*openOpts)
+
+type openOpts struct {
+	wrap func(File) File
+}
+
+// WithFileWrapper interposes wrap between the log and the opened file.
+// The wrapper sees every write, fsync, read, and truncate the log
+// issues.
+func WithFileWrapper(wrap func(File) File) Option {
+	return func(o *openOpts) { o.wrap = wrap }
+}
+
 // LSN is a log sequence number: the byte offset of a record.
 type LSN uint64
 
@@ -89,7 +117,10 @@ type Record struct {
 
 const headerSize = 8 // length + crc
 
-// ErrCorrupt reports a CRC mismatch mid-log (not at the tail).
+// ErrCorrupt reports a CRC mismatch mid-log (not at the tail): a fully
+// written record whose checksum fails while valid data follows it. That
+// can only be corruption, never a torn tail, so Open and Scan refuse
+// rather than silently truncating committed records.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
 var errClosed = errors.New("wal: log closed")
@@ -109,6 +140,9 @@ type SyncStats struct {
 	// CommitWaitNs is the total time committers spent waiting for
 	// durability (from append-complete to fsync-covered).
 	CommitWaitNs uint64
+	// Heals counts successful Heal calls: sticky sync errors cleared by
+	// truncating the non-durable suffix and re-verifying the file.
+	Heals uint64
 }
 
 // Log is an append-only, CRC-checked record log with group commit.
@@ -116,7 +150,7 @@ type Log struct {
 	// mu serializes appends: the buffered writer, the logical size, and
 	// the count of commits not yet covered by a sync.
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	w        *bufio.Writer
 	size     int64
 	unsynced uint64 // commits appended since the last sync snapshot
@@ -134,11 +168,21 @@ type Log struct {
 }
 
 // Open opens (creating if needed) the log at path. It validates the
-// existing contents and truncates any torn tail left by a crash.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// existing contents and truncates any torn tail left by a crash; a
+// corrupt record in the middle of the log (valid records follow it)
+// fails with ErrCorrupt instead of silently discarding committed data.
+func Open(path string, opts ...Option) (*Log, error) {
+	var oo openOpts
+	for _, opt := range opts {
+		opt(&oo)
+	}
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	var f File = osf
+	if oo.wrap != nil {
+		f = oo.wrap(f)
 	}
 	l := &Log{f: f, path: path}
 	l.gcCond = sync.NewCond(&l.gc)
@@ -164,7 +208,18 @@ func Open(path string) (*Log, error) {
 // validPrefix scans the file and returns the length of the longest valid
 // record prefix. The payload buffer is reused across records so
 // recovering a large log does not churn the allocator.
+//
+// A record that fails its CRC is classified by position: if it extends
+// to (or past) end-of-file it is a torn tail — the expected shape of a
+// crash mid-append — and the prefix before it is kept; if bytes follow
+// its claimed extent, the record was fully written and then damaged, so
+// the scan fails with ErrCorrupt rather than silently dropping it and
+// every committed record after it.
 func (l *Log) validPrefix() (int64, error) {
+	fileSize, err := l.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
@@ -181,17 +236,21 @@ func (l *Log) validPrefix() (int64, error) {
 		if length > 1<<30 {
 			return off, nil // implausible length: torn tail
 		}
+		end := off + int64(headerSize) + int64(length)
 		if uint32(cap(payload)) < length {
 			payload = make([]byte, length)
 		}
 		payload = payload[:length]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return off, nil
+			return off, nil // record extends past EOF: torn tail
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
-			return off, nil
+			if end < fileSize {
+				return 0, fmt.Errorf("%w at LSN %d (mid-log, %d bytes follow)", ErrCorrupt, off, fileSize-end)
+			}
+			return off, nil // last record damaged: torn tail
 		}
-		off += int64(headerSize) + int64(length)
+		off = end
 	}
 }
 
@@ -439,6 +498,59 @@ func (l *Log) Truncate() error {
 	l.w.Reset(l.f)
 	l.gc.Lock()
 	l.durable = 0
+	l.gcCond.Broadcast()
+	l.gc.Unlock()
+	return nil
+}
+
+// Heal attempts to clear a sticky sync error. Records past the durable
+// boundary may be partially on disk and their committers were already
+// told the commit failed, so the non-durable suffix (buffered and
+// on-disk) is discarded, the file is truncated back to the durable
+// prefix, and an fsync verifies the file is healthy again — only then
+// is the sticky error cleared. If the verifying I/O fails too, the log
+// stays wedged and Heal returns the failure.
+//
+// The caller must guarantee no committer is between AppendCommit and
+// WaitDurable when Heal runs (the eos manager fences new commits and
+// drains in-flight ones first): a waiter whose records are discarded
+// here would otherwise wait for a durability target the log can no
+// longer reach.
+func (l *Log) Heal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return errClosed
+	}
+	l.gc.Lock()
+	wedged := l.syncErr
+	durable := l.durable
+	syncing := l.syncing
+	l.gc.Unlock()
+	if wedged == nil {
+		return nil // healthy (or already healed by a racing caller)
+	}
+	if syncing {
+		return fmt.Errorf("wal: heal: sync in flight")
+	}
+	// Drop buffered-but-unflushed bytes (their commits already failed)
+	// and the suspect on-disk suffix.
+	l.w.Reset(io.Discard)
+	if err := l.f.Truncate(durable); err != nil {
+		return fmt.Errorf("wal: heal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(durable, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: heal: seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: heal: verify sync: %w", err)
+	}
+	l.size = durable
+	l.unsynced = 0
+	l.w.Reset(l.f)
+	l.gc.Lock()
+	l.syncErr = nil
+	l.stats.Heals++
 	l.gcCond.Broadcast()
 	l.gc.Unlock()
 	return nil

@@ -159,14 +159,11 @@ func TestCorruptMiddleDetectedOnOpen(t *testing.T) {
 	if err := os.WriteFile(path, full, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	// Open truncates at the first bad record: everything goes.
-	l2, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer l2.Close()
-	if l2.Size() != 0 {
-		t.Fatalf("size after corrupt-first-record open = %d, want 0", l2.Size())
+	// A damaged record with valid records after it cannot be a torn
+	// tail: Open must refuse with ErrCorrupt, not silently truncate
+	// the two committed records behind it.
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over mid-log corruption = %v, want ErrCorrupt", err)
 	}
 }
 

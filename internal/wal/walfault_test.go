@@ -1,0 +1,223 @@
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ode/internal/fault"
+	"ode/internal/wal"
+)
+
+// openFaulty opens a log whose file is wrapped by a fault schedule.
+func openFaulty(t *testing.T, s *fault.Schedule) (*wal.Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fault.wal")
+	l, err := wal.Open(path, wal.WithFileWrapper(func(f wal.File) wal.File {
+		return fault.Wrap(f, s)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+// TestStickySyncError checks the wedge contract: after one injected
+// fsync failure, every subsequent WaitDurable and Flush returns the
+// wedged error, and no committer is ever told its records are durable
+// when they are not.
+func TestStickySyncError(t *testing.T) {
+	s := fault.NewSchedule().FailSyncAt(1)
+	l, _ := openFaulty(t, s)
+	defer l.Close()
+
+	target, err := l.AppendCommit([]wal.Record{{Type: wal.RecCommit, Txn: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(target); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("first WaitDurable = %v, want injected error", err)
+	}
+	// Sticky: later appends and flushes keep failing with the same
+	// error even though the underlying file has healed (FailSyncAt
+	// fires once).
+	for i := 0; i < 3; i++ {
+		target, err := l.AppendCommit([]wal.Record{{Type: wal.RecCommit, Txn: uint64(2 + i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WaitDurable(target); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("WaitDurable after wedge = %v, want sticky injected error", err)
+		}
+		if err := l.Flush(); !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("Flush after wedge = %v, want sticky injected error", err)
+		}
+	}
+}
+
+// TestStickySyncErrorConcurrent wedges the log under many concurrent
+// committers and asserts no committer observes false durability: every
+// commit either succeeded (its records durable before the wedge) or got
+// an error. Commits acknowledged as durable must survive reopen.
+func TestStickySyncErrorConcurrent(t *testing.T) {
+	s := fault.NewSchedule().FailSyncAt(3)
+	l, path := openFaulty(t, s)
+
+	const committers, per = 8, 25
+	type acked struct{ txn uint64 }
+	ackedCh := make(chan acked, committers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				txn := uint64(w*per + i + 1)
+				target, err := l.AppendCommit([]wal.Record{
+					{Type: wal.RecUpdate, Txn: txn, OID: txn, Data: []byte(fmt.Sprintf("t%d", txn))},
+					{Type: wal.RecCommit, Txn: txn},
+				})
+				if err != nil {
+					return
+				}
+				if err := l.WaitDurable(target); err != nil {
+					if !errors.Is(err, fault.ErrInjected) {
+						t.Errorf("txn %d: unexpected error %v", txn, err)
+					}
+					continue
+				}
+				ackedCh <- acked{txn}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(ackedCh)
+	l.Close()
+
+	// Reopen (the wrapper is gone: simulates a process restart after the
+	// wedge) and collect the commit records that survived.
+	l2, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	durable := map[uint64]bool{}
+	if err := l2.Scan(func(_ wal.LSN, rec *wal.Record) error {
+		if rec.Type == wal.RecCommit {
+			durable[rec.Txn] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for a := range ackedCh {
+		if !durable[a.txn] {
+			t.Errorf("txn %d was acknowledged durable but its commit record is missing", a.txn)
+		}
+	}
+}
+
+// TestHealAfterSyncFailure exercises error-once-then-heal: a wedged log
+// healed via Heal accepts new commits, and only the records durable
+// before the wedge plus those committed after the heal survive reopen.
+func TestHealAfterSyncFailure(t *testing.T) {
+	s := fault.NewSchedule().FailSyncAt(2)
+	l, path := openFaulty(t, s)
+
+	commit := func(txn uint64) error {
+		target, err := l.AppendCommit([]wal.Record{
+			{Type: wal.RecUpdate, Txn: txn, OID: txn, Data: []byte("d")},
+			{Type: wal.RecCommit, Txn: txn},
+		})
+		if err != nil {
+			return err
+		}
+		return l.WaitDurable(target)
+	}
+	if err := commit(1); err != nil {
+		t.Fatalf("commit 1: %v", err)
+	}
+	if err := commit(2); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("commit 2 = %v, want injected error", err)
+	}
+	if err := l.Heal(); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	if got := l.SyncStats().Heals; got != 1 {
+		t.Fatalf("Heals = %d, want 1", got)
+	}
+	if err := commit(3); err != nil {
+		t.Fatalf("commit 3 after heal: %v", err)
+	}
+	l.Close()
+
+	l2, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	durable := map[uint64]bool{}
+	if err := l2.Scan(func(_ wal.LSN, rec *wal.Record) error {
+		if rec.Type == wal.RecCommit {
+			durable[rec.Txn] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !durable[1] || durable[2] || !durable[3] {
+		t.Fatalf("durable txns = %v, want {1,3} (2 discarded by heal)", durable)
+	}
+}
+
+// TestScanCorruptMiddleRecord corrupts a record in the middle of a log
+// that has valid records after it: Scan must fail with ErrCorrupt, not
+// treat the damage as a torn tail.
+func TestScanCorruptMiddleRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	l, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []wal.LSN
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(&wal.Record{Type: wal.RecUpdate, Txn: 1, OID: uint64(i), Data: []byte("payload")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, lsn)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte of the middle record, on disk, behind the
+	// open log's back.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := int64(offsets[2]) + 8 + 3 // header + 3 bytes into the payload
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, mid); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xff
+	if _, err := f.WriteAt(buf, mid); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := l.Scan(func(wal.LSN, *wal.Record) error { return nil }); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("scan over corrupt middle record = %v, want ErrCorrupt", err)
+	}
+	l.Close()
+
+	// Reopen sees the same corruption and must also refuse.
+	if _, err := wal.Open(path); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("open over corrupt middle record = %v, want ErrCorrupt", err)
+	}
+}
