@@ -729,3 +729,34 @@ func BenchmarkE16GroupCommit(b *testing.B) {
 		})
 	}
 }
+
+// --- E18: observability overhead ----------------------------------------------
+
+// BenchmarkObsOverhead measures the posting hot path (one active trigger,
+// mask evaluated every posting — the E3 slow path) under three tracing
+// configurations. The acceptance bar for shipping the tracer compiled
+// into the path: TracingOff within 2% of the pre-observability E3 number
+// — the gate is a single atomic load.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		rate uint64
+	}{
+		{"TracingOff", 0},
+		{"Sampled1In1024", 1024},
+		{"TraceEvery", 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db, ref := benchDB(b, "DenyCredit")
+			db.Tracer().SetRate(cfg.rate)
+			tx := db.Begin()
+			defer tx.Commit()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Invoke(tx, ref, "Buy", 1.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,23 +3,38 @@
 // the catalog, every object envelope (class, flags, payload preview),
 // every persistent TriggerState (§5.4.1), and the object→trigger index.
 //
+// It also prints every registered storage/txn/lock counter, derived
+// generically from the obs.Registry, so a counter added to any Stats
+// struct shows up here without a hand-written print line.
+//
+// With -traces it instead connects to a running ode-server and exports
+// the firing-trace ring as JSON (the server's "trace" op):
+//
+//	ode-inspect -traces 127.0.0.1:7047 [-rate 16]
+//
 // Usage:
 //
 //	ode-inspect [-v] file.eos
+//	ode-inspect -traces addr [-rate n]
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"os"
 	"sort"
 	"strings"
 
+	"ode/internal/core"
 	"ode/internal/lock"
 	"ode/internal/obj"
+	"ode/internal/obs"
 	"ode/internal/storage"
 	"ode/internal/storage/eos"
 	"ode/internal/txn"
@@ -28,9 +43,17 @@ import (
 func main() {
 	log.SetFlags(0)
 	verbose := flag.Bool("v", false, "print full payloads")
+	traces := flag.String("traces", "", "fetch firing traces as JSON from a running ode-server at this address")
+	rate := flag.Int64("rate", 0, "with -traces: >0 sets 1-in-n trace sampling on the server, <0 disables it")
 	flag.Parse()
+	if *traces != "" {
+		if err := fetchTraces(*traces, *rate); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: ode-inspect [-v] file.eos")
+		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]")
 	}
 	store, err := eos.Open(flag.Arg(0), eos.Options{})
 	if err != nil {
@@ -38,7 +61,8 @@ func main() {
 	}
 	defer store.Close()
 
-	tm := txn.NewManager(store, lock.NewManager())
+	lm := lock.NewManager()
+	tm := txn.NewManager(store, lm)
 	om, err := obj.New(tm)
 	if err != nil {
 		log.Fatal(err)
@@ -139,18 +163,59 @@ func main() {
 		fmt.Printf("  oid %-5d (class %s) %s\n", o.oid, o.class, o.body)
 	}
 
-	st := store.Stats()
-	fmt.Printf("\nstore stats: %d reads, %d page reads, %d cache hits\n",
-		st.Reads, st.PageReads, st.CacheHits)
-	avg := 0.0
-	if st.Fsyncs > 0 {
-		avg = float64(st.GroupCommits) / float64(st.Fsyncs)
+	// Every subsystem counter, listed generically from the registry: a
+	// counter added to storage/txn/lock Stats appears here (and in the
+	// server's /metrics) without a hand-written print line.
+	reg := obs.NewRegistry()
+	core.RegisterSubsystems(reg, store, tm, lm)
+	fmt.Printf("\nstats:\n")
+	for _, m := range reg.Snapshot() {
+		switch m.Kind {
+		case obs.KindHistogram:
+			fmt.Printf("  %-28s count=%d sum=%d p50=%d p99=%d %s\n", m.Name, m.Count, m.Sum, m.P50, m.P99, m.Unit)
+		default:
+			fmt.Printf("  %-28s %12d %s\n", m.Name, m.Value, m.Unit)
+		}
 	}
-	fmt.Printf("group commit: %d commits over %d fsyncs (batch min/avg/max %d/%.1f/%d), %.2fms total commit wait\n",
-		st.GroupCommits, st.Fsyncs, st.BatchMin, avg, st.BatchMax,
-		float64(st.CommitWaitNs)/1e6)
-	fmt.Printf("fault recovery: %d WAL heals (sync failures survived by truncating back to the durable prefix)\n",
-		st.WALHeals)
+}
+
+// fetchTraces connects to a running ode-server, optionally adjusts the
+// trace sampling rate, and prints the firing-trace ring as JSON.
+func fetchTraces(addr string, rate int64) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := map[string]any{"op": "trace"}
+	if rate != 0 {
+		req["rate"] = rate
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	var resp struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("server: %s", resp.Error)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
+		return err
+	}
+	pretty.WriteByte('\n')
+	_, err = pretty.WriteTo(os.Stdout)
+	return err
 }
 
 func preview(data []byte, full bool) string {

@@ -30,6 +30,7 @@ import (
 
 	"ode"
 	"ode/internal/core"
+	"ode/internal/obs"
 	"ode/internal/server"
 )
 
@@ -99,6 +100,8 @@ func main() {
 	maxReq := flag.Int("max-request", server.DefaultMaxRequestBytes, "per-request size cap in bytes")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "disconnect clients idle longer than this (0 disables)")
 	drain := flag.Duration("drain-timeout", 5*time.Second, "shutdown grace period for in-flight requests")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /traces, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+	traceRate := flag.Uint64("trace-rate", 0, "record one of every n postings as a firing trace (0 disables)")
 	flag.Parse()
 
 	var db *ode.Database
@@ -114,6 +117,15 @@ func main() {
 	defer db.Close()
 	if err := db.Register(credCardClass()); err != nil {
 		log.Fatal(err)
+	}
+
+	db.Tracer().SetRate(*traceRate)
+	if *obsAddr != "" {
+		bound, err := obs.Serve(*obsAddr, db.Observability(), db.Tracer())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("observability endpoint on http://%s (metrics, traces, expvar, pprof)", bound)
 	}
 
 	srv := server.NewWithOptions(dbCore(db), server.Options{

@@ -14,6 +14,7 @@ import (
 	"ode/internal/fsm"
 	"ode/internal/lock"
 	"ode/internal/obj"
+	"ode/internal/obs"
 	"ode/internal/storage"
 	"ode/internal/txn"
 )
@@ -126,7 +127,10 @@ func (bc *BoundClass) TriggerByName(name string) (*BoundTrigger, bool) {
 	return bt, ok
 }
 
-// Stats counts trigger-system activity; the experiments read these.
+// Stats counts trigger-system activity; the experiments read these. It
+// is a snapshot assembled from the database's obs.Registry counters (see
+// observe.go and docs/OBSERVABILITY.md), kept as a plain struct so
+// existing callers are untouched.
 type Stats struct {
 	EventsPosted     uint64 // basic events posted to objects
 	FastPathSkips    uint64 // postings skipped via the header bit (§5.4.5 fn 3)
@@ -157,9 +161,14 @@ type Database struct {
 	byName     map[string]*BoundClass
 	byID       map[uint32]*BoundClass
 	txnStates  map[txn.ID]*txnState
-	statsMu    sync.Mutex
-	stats      Stats
 	detachWait sync.WaitGroup
+
+	// Observability (see observe.go): the metric registry unifying this
+	// engine's counters/histograms with the storage, txn, and lock Stats,
+	// and the sampled firing-trace recorder.
+	obsReg *obs.Registry
+	met    *coreMetrics
+	tracer *obs.Tracer
 
 	// Detached-execution retry policy (§5.5 self-healing): a dependent
 	// or !dependent firing whose system transaction aborts for a
@@ -179,6 +188,7 @@ func NewDatabase(store storage.Manager) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	obsReg, met, tracer := wireObservability(store, tm, lm)
 	return &Database{
 		store:           store,
 		lm:              lm,
@@ -190,6 +200,9 @@ func NewDatabase(store storage.Manager) (*Database, error) {
 		txnStates:       make(map[txn.ID]*txnState),
 		detachedRetries: DefaultDetachedRetries,
 		detachedBackoff: DefaultDetachedBackoff,
+		obsReg:          obsReg,
+		met:             met,
+		tracer:          tracer,
 	}, nil
 }
 
@@ -243,22 +256,34 @@ func (db *Database) Registry() *event.Registry { return db.reg }
 
 // Stats returns a snapshot of trigger-system counters.
 func (db *Database) Stats() Stats {
-	db.statsMu.Lock()
-	defer db.statsMu.Unlock()
-	return db.stats
+	m := db.met
+	return Stats{
+		EventsPosted:     m.eventsPosted.Value(),
+		FastPathSkips:    m.fastPathSkips.Value(),
+		TriggersAdvanced: m.triggersAdvanced.Value(),
+		MasksEvaluated:   m.masksEvaluated.Value(),
+		FiredImmediate:   m.firedImmediate.Value(),
+		FiredDeferred:    m.firedDeferred.Value(),
+		FiredDependent:   m.firedDependent.Value(),
+		FiredIndependent: m.firedIndependent.Value(),
+		ActionErrors:     m.actionErrors.Value(),
+		ActionPanics:     m.actionPanics.Value(),
+		DetachedRetries:  m.detachedRetries.Value(),
+		DetachedDropped:  m.detachedDropped.Value(),
+	}
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the trigger-engine counters (not the storage, txn,
+// or lock counters, which belong to their managers).
 func (db *Database) ResetStats() {
-	db.statsMu.Lock()
-	defer db.statsMu.Unlock()
-	db.stats = Stats{}
-}
-
-func (db *Database) bump(f func(*Stats)) {
-	db.statsMu.Lock()
-	f(&db.stats)
-	db.statsMu.Unlock()
+	m := db.met
+	for _, c := range []*obs.Counter{
+		m.eventsPosted, m.fastPathSkips, m.triggersAdvanced, m.masksEvaluated,
+		m.firedImmediate, m.firedDeferred, m.firedDependent, m.firedIndependent,
+		m.actionErrors, m.actionPanics, m.detachedRetries, m.detachedDropped,
+	} {
+		c.Reset()
+	}
 }
 
 // Close waits for in-flight detached trigger transactions and closes the

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"ode/internal/event"
+	"ode/internal/fsm"
 	"ode/internal/lock"
 	"ode/internal/obj"
+	"ode/internal/obs"
 	"ode/internal/storage"
 	"ode/internal/txn"
 )
@@ -158,6 +160,9 @@ type firedRec struct {
 	tsOID  storage.OID
 	ref    Ref
 	evArgs []any // §8 extension: posting event's member-function args
+
+	detected time.Time  // when the FSM accepted, for post→fire latency
+	tr       *obs.Trace // pinned firing trace, nil unless the posting was sampled
 }
 
 // txnState is the per-transaction trigger-engine state: the instance
@@ -200,13 +205,13 @@ func (db *Database) state(tx *txn.Txn) *txnState {
 	tx.OnBeforeAbort(st.abortProcessing)
 	tx.OnAfterCommit(func() {
 		db.dropState(tx)
-		db.runDetached(st.depList, &db.stats.FiredDependent)
-		db.runDetached(st.indepList, &db.stats.FiredIndependent)
+		db.runDetached(st.depList, db.met.firedDependent)
+		db.runDetached(st.indepList, db.met.firedIndependent)
 	})
 	tx.OnAfterAbort(func() {
 		db.dropState(tx)
 		// §5.5: only the !dependent list survives an abort.
-		db.runDetached(st.indepList, &db.stats.FiredIndependent)
+		db.runDetached(st.indepList, db.met.firedIndependent)
 	})
 	return st
 }
@@ -564,7 +569,7 @@ func (st *txnState) maskEval(ref Ref, bt *BoundTrigger, act *Activation) func(st
 		if err != nil {
 			return false, err
 		}
-		st.db.bump(func(s *Stats) { s.MasksEvaluated++ })
+		st.db.met.masksEvaluated.Inc()
 		ctx := &Ctx{db: st.db, tx: st.tx, ref: ref}
 		return fn(ctx, inst.val, act)
 	}
@@ -582,7 +587,14 @@ func (st *txnState) maskEval(ref Ref, bt *BoundTrigger, act *Activation) func(st
 //     transactions, §5.4.5), routed by coupling mode.
 func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 	db := st.db
-	db.bump(func(s *Stats) { s.EventsPosted++ })
+	db.met.eventsPosted.Inc()
+	// The sampling gate is one atomic load when tracing is off; the trace
+	// machinery below only runs for selected postings.
+	var tr *obs.Trace
+	if db.tracer.Sampled() {
+		tr = db.tracer.Start(uint32(ev), db.eventString(ev), uint64(ref.oid))
+		defer db.tracer.Publish(tr)
+	}
 	// Local rules see every posting, independent of the header fast path
 	// (they live in transaction memory, not in the index).
 	if err := st.postLocal(ref, ev, evArgs); err != nil {
@@ -596,7 +608,7 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 		return err
 	}
 	if h.Flags&obj.FlagHasTriggers == 0 {
-		db.bump(func(s *Stats) { s.FastPathSkips++ })
+		db.met.fastPathSkips.Inc()
 		return nil
 	}
 	tsOIDs, err := db.om.TriggersOn(st.tx, ref.oid)
@@ -627,13 +639,38 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 		}
 		bt := ownerBC.ownTriggers[rec.TriggerNum]
 		act := &Activation{Trigger: rec.Name, Args: rec.Args, Ref: ref, ID: TriggerID{tsOID}, EventArgs: evArgs}
-		next, accepted, err := bt.Machine.Advance(rec.StateNum, ev, st.maskEval(ref, bt, act))
+		var traceFn fsm.TraceFn
+		if tr != nil {
+			trigName, evName := rec.Name, tr.Event()
+			traceFn = func(from, to int32, mask string, outcome bool) {
+				s := obs.Step{Kind: obs.StepTransition, Trigger: trigName, Event: evName, From: from, To: to}
+				if mask != "" {
+					// §5.1.2: a mask evaluation consumes the True or
+					// False pseudo-event.
+					s.Kind, s.Mask = obs.StepMask, mask
+					if outcome {
+						s.Event = "True"
+					} else {
+						s.Event = "False"
+					}
+				}
+				tr.Add(s)
+			}
+		}
+		advStart := time.Now()
+		next, accepted, err := bt.Machine.AdvanceTraced(rec.StateNum, ev, st.maskEval(ref, bt, act), traceFn)
+		db.met.fsmAdvanceNs.Observe(time.Since(advStart).Nanoseconds())
 		if err != nil {
 			return err
 		}
 		if accepted {
 			rec.StateNum = next
-			fired = append(fired, firedRec{bt: bt, rec: rec, tsOID: tsOID, ref: ref, evArgs: evArgs})
+			f := firedRec{bt: bt, rec: rec, tsOID: tsOID, ref: ref, evArgs: evArgs, detected: time.Now()}
+			if tr != nil {
+				tr.Pin() // released when the firing's dispatch path finishes
+				f.tr = tr
+			}
+			fired = append(fired, f)
 			continue // state persisted by the disposition below
 		}
 		if next != rec.StateNum {
@@ -641,7 +678,7 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 			if err := st.saveTriggerState(tsOID, &rec); err != nil {
 				return err
 			}
-			db.bump(func(s *Stats) { s.TriggersAdvanced++ })
+			db.met.triggersAdvanced.Inc()
 		}
 	}
 
@@ -664,10 +701,14 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 				return err
 			}
 		}
+		f.tr.Add(obs.Step{Kind: obs.StepFire, Trigger: f.rec.Name, Coupling: f.bt.Def.Coupling.String()})
 		switch f.bt.Def.Coupling {
 		case Immediate:
-			db.bump(func(s *Stats) { s.FiredImmediate++ })
-			if err := st.runAction(*f); err != nil {
+			db.met.firedImmediate.Inc()
+			db.met.postToFireNs.Observe(time.Since(f.detected).Nanoseconds())
+			err := st.runAction(*f)
+			f.tr.Done()
+			if err != nil {
 				return err
 			}
 		case Deferred:
@@ -709,7 +750,16 @@ func (st *txnState) runAction(f firedRec) error {
 	}
 	ctx := &Ctx{db: st.db, tx: st.tx, ref: f.ref}
 	act := &Activation{Trigger: f.rec.Name, Args: f.rec.Args, Ref: f.ref, ID: TriggerID{f.tsOID}, EventArgs: f.evArgs}
-	if err := st.callAction(f, ctx, inst.val, act); err != nil {
+	f.tr.Add(obs.Step{Kind: obs.StepActionStart, Trigger: f.rec.Name})
+	actStart := time.Now()
+	err = st.callAction(f, ctx, inst.val, act)
+	st.db.met.actionNs.Observe(time.Since(actStart).Nanoseconds())
+	endStep := obs.Step{Kind: obs.StepActionEnd, Trigger: f.rec.Name}
+	if err != nil {
+		endStep.Err = err.Error()
+	}
+	f.tr.Add(endStep)
+	if err != nil {
 		return fmt.Errorf("core: trigger %s action: %w", f.bt.Def.Name, err)
 	}
 	after, err := encodeInstance(inst.val)
@@ -732,7 +782,7 @@ func (st *txnState) runAction(f firedRec) error {
 func (st *txnState) callAction(f firedRec, ctx *Ctx, self any, act *Activation) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			st.db.bump(func(s *Stats) { s.ActionPanics++ })
+			st.db.met.actionPanics.Inc()
 			err = fmt.Errorf("action panicked: %v", r)
 		}
 	}()
@@ -746,13 +796,18 @@ func (st *txnState) callAction(f firedRec, ctx *Ctx, self any, act *Activation) 
 // classified as retryable (deadlock victimization, commit failures such
 // as a healed WAL fsync error) are retried with capped exponential
 // backoff until the firing commits or the retry budget runs out.
-func (db *Database) runDetached(list []firedRec, counter *uint64) {
+func (db *Database) runDetached(list []firedRec, counter *obs.Counter) {
 	for _, f := range list {
 		db.runDetachedOne(f, counter)
 	}
 }
 
-func (db *Database) runDetachedOne(f firedRec, counter *uint64) {
+func (db *Database) runDetachedOne(f firedRec, counter *obs.Counter) {
+	defer f.tr.Done()
+	// The wait between detection and detached execution is dominated by
+	// the detecting transaction's commit (WAL group-commit wait included).
+	f.tr.Add(obs.Step{Kind: obs.StepCommitWait, Trigger: f.rec.Name, WaitNs: time.Since(f.detected).Nanoseconds()})
+	db.met.postToFireNs.Observe(time.Since(f.detected).Nanoseconds())
 	budget, backoff := db.detachedRetryPolicy()
 	for attempt := 0; ; attempt++ {
 		sys := db.tm.BeginSystem()
@@ -762,7 +817,7 @@ func (db *Database) runDetachedOne(f firedRec, counter *uint64) {
 		if err == nil && !doomed {
 			err = sys.Commit()
 			if err == nil {
-				db.bump(func(s *Stats) { *counter++ })
+				counter.Inc()
 				return
 			}
 		} else if sys.State() == txn.Active {
@@ -773,11 +828,18 @@ func (db *Database) runDetachedOne(f firedRec, counter *uint64) {
 			// semantic outcome, not a fault — the firing ran to
 			// completion and deliberately discarded its effects.
 			// Retrying would doom again, deterministically.
-			db.bump(func(s *Stats) { *counter++; s.ActionErrors++ })
+			counter.Inc()
+			db.met.actionErrors.Inc()
 			return
 		}
 		if attempt < budget && retryableDetached(err) {
-			db.bump(func(s *Stats) { s.DetachedRetries++ })
+			db.met.detachedRetries.Inc()
+			db.met.detachedRetryDelayNs.Observe(backoff.Nanoseconds())
+			retryStep := obs.Step{Kind: obs.StepRetry, Trigger: f.rec.Name, WaitNs: backoff.Nanoseconds()}
+			if err != nil {
+				retryStep.Err = err.Error()
+			}
+			f.tr.Add(retryStep)
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > detachedBackoffCap {
 				backoff = detachedBackoffCap
@@ -786,7 +848,9 @@ func (db *Database) runDetachedOne(f firedRec, counter *uint64) {
 		}
 		// Permanent failure (action error, panic) or budget exhausted:
 		// the firing is lost and the loss is counted, not silent.
-		db.bump(func(s *Stats) { *counter++; s.ActionErrors++; s.DetachedDropped++ })
+		counter.Inc()
+		db.met.actionErrors.Inc()
+		db.met.detachedDropped.Inc()
 		return
 	}
 }
@@ -820,8 +884,11 @@ func (st *txnState) drainEndList() error {
 	for len(st.endList) > 0 {
 		f := st.endList[0]
 		st.endList = st.endList[1:]
-		st.db.bump(func(s *Stats) { s.FiredDeferred++ })
-		if err := st.runAction(f); err != nil {
+		st.db.met.firedDeferred.Inc()
+		st.db.met.postToFireNs.Observe(time.Since(f.detected).Nanoseconds())
+		err := st.runAction(f)
+		f.tr.Done()
+		if err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ode/internal/event"
 	"ode/internal/storage"
@@ -135,15 +136,17 @@ func (st *txnState) postLocal(ref Ref, ev event.ID, evArgs []any) error {
 			la.dead = true
 		}
 		f := firedRec{
-			bt:     la.bt,
-			rec:    triggerStateRec{Name: la.bt.Def.Name, Args: la.args, ObjOID: uint64(ref.oid)},
-			tsOID:  storage.InvalidOID,
-			ref:    ref,
-			evArgs: evArgs,
+			bt:       la.bt,
+			rec:      triggerStateRec{Name: la.bt.Def.Name, Args: la.args, ObjOID: uint64(ref.oid)},
+			tsOID:    storage.InvalidOID,
+			ref:      ref,
+			evArgs:   evArgs,
+			detected: time.Now(),
 		}
 		switch la.bt.Def.Coupling {
 		case Immediate:
-			st.db.bump(func(s *Stats) { s.FiredImmediate++ })
+			st.db.met.firedImmediate.Inc()
+			st.db.met.postToFireNs.Observe(time.Since(f.detected).Nanoseconds())
 			if err := st.runAction(f); err != nil {
 				return err
 			}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+
+	"ode/internal/event"
+	"ode/internal/lock"
+	"ode/internal/obs"
+	"ode/internal/storage"
+	"ode/internal/txn"
+)
+
+// coreMetrics holds the trigger engine's hot-path metric handles. The
+// counters are the storage behind the public Stats snapshot (the
+// pre-existing accessor is kept; the ad-hoc mutex-guarded struct is
+// gone), and the histograms time the stations of a firing: detection,
+// FSM advance, action execution, durability wait, detached retry
+// backoff. All of it lives in one obs.Registry per Database, exposed by
+// Observability() and documented in docs/OBSERVABILITY.md.
+type coreMetrics struct {
+	eventsPosted     *obs.Counter
+	fastPathSkips    *obs.Counter
+	triggersAdvanced *obs.Counter
+	masksEvaluated   *obs.Counter
+	firedImmediate   *obs.Counter
+	firedDeferred    *obs.Counter
+	firedDependent   *obs.Counter
+	firedIndependent *obs.Counter
+	actionErrors     *obs.Counter
+	actionPanics     *obs.Counter
+	detachedRetries  *obs.Counter
+	detachedDropped  *obs.Counter
+
+	postToFireNs         *obs.Histogram
+	fsmAdvanceNs         *obs.Histogram
+	actionNs             *obs.Histogram
+	commitWaitNs         *obs.Histogram
+	detachedRetryDelayNs *obs.Histogram
+}
+
+func newCoreMetrics(r *obs.Registry) *coreMetrics {
+	return &coreMetrics{
+		eventsPosted:     r.Counter("core.events_posted", "count", "basic events posted to objects (§5.4.5 PostEvent entries)"),
+		fastPathSkips:    r.Counter("core.fast_path_skips", "count", "postings short-circuited by the header bit (§5.4.5 footnote 3)"),
+		triggersAdvanced: r.Counter("core.triggers_advanced", "count", "FSM advances that changed persistent state (write locks taken, §6)"),
+		masksEvaluated:   r.Counter("core.masks_evaluated", "count", "mask predicate evaluations (§5.1.2 pseudo-event cascades)"),
+		firedImmediate:   r.Counter("core.fired_immediate", "count", "firings run inside the detecting transaction (§4.2 immediate)"),
+		firedDeferred:    r.Counter("core.fired_deferred", "count", "firings run at commit (§4.2 'end'/deferred coupling)"),
+		firedDependent:   r.Counter("core.fired_dependent", "count", "detached firings whose parent committed (§4.2 dependent)"),
+		firedIndependent: r.Counter("core.fired_independent", "count", "detached firings independent of parent outcome (§4.2 !dependent)"),
+		actionErrors:     r.Counter("core.action_errors", "count", "detached actions that ended in an aborted system transaction (permanent)"),
+		actionPanics:     r.Counter("core.action_panics", "count", "trigger actions that panicked (recovered, treated as errors)"),
+		detachedRetries:  r.Counter("core.detached_retries", "count", "detached system transactions re-run after a retryable abort"),
+		detachedDropped:  r.Counter("core.detached_dropped", "count", "detached firings lost for good (permanent error or retry budget exhausted)"),
+
+		postToFireNs:         r.Histogram("core.post_to_fire_ns", "ns", "event post to action start, per firing (detached firings include the parent's commit wait)"),
+		fsmAdvanceNs:         r.Histogram("core.fsm_advance_ns", "ns", "one trigger-state FSM advance including its mask cascade (§5.4.5 steps a–c)"),
+		actionNs:             r.Histogram("core.action_ns", "ns", "trigger action body execution"),
+		commitWaitNs:         r.Histogram("txn.commit_wait_ns", "ns", "ApplyCommit duration per committed transaction (on eos: the WAL group-commit durability wait)"),
+		detachedRetryDelayNs: r.Histogram("core.detached_retry_delay_ns", "ns", "backoff slept before each detached retry (§5.5 self-healing)"),
+	}
+}
+
+// Help text for the subsumed Stats structs, keyed by Go field name. A
+// field without an entry still registers (RegisterStats reflects over
+// the struct), it just carries no help line.
+var (
+	txnStatsHelp = map[string]string{
+		"Begun":     "transactions started",
+		"Committed": "transactions committed durably",
+		"Aborted":   "transactions rolled back (explicit, doomed, deadlock victim, failed commit)",
+		"System":    "system transactions begun for detached trigger processing (§5.5)",
+	}
+	lockStatsHelp = map[string]string{
+		"Acquisitions": "granted lock requests, including re-entrant grants",
+		"Waits":        "lock requests that had to block",
+		"Upgrades":     "shared-to-exclusive upgrades (the §6 read-to-write amplification)",
+		"Deadlocks":    "deadlock victims aborted",
+	}
+	storageStatsHelp = map[string]string{
+		"Reads":        "object reads served by the storage manager",
+		"Writes":       "object writes applied",
+		"Frees":        "objects freed",
+		"PageReads":    "pages fetched from disk (eos only)",
+		"PageWrites":   "pages written to disk (eos only)",
+		"CacheHits":    "buffer-pool hits (eos only)",
+		"LogBytes":     "WAL bytes appended (eos only)",
+		"Fsyncs":       "WAL fsyncs issued (eos only)",
+		"GroupCommits": "commits made durable; GroupCommits/Fsyncs is the average batch (eos only)",
+		"BatchMin":     "smallest commits-per-fsync batch seen (eos only)",
+		"BatchMax":     "largest commits-per-fsync batch seen (eos only)",
+		"CommitWaitNs": "total time committers waited for durability (eos only)",
+		"WALHeals":     "sticky WAL sync errors cleared by self-healing truncation (eos only)",
+	}
+)
+
+// RegisterSubsystems registers the pre-existing per-subsystem Stats
+// structs (storage, txn, lock) into r as Func counters, derived by
+// reflection so a counter added to any of those structs can never be
+// missing from the registry. Exported for tools (ode-inspect) that open
+// the managers without a Database.
+func RegisterSubsystems(r *obs.Registry, store storage.Manager, tm *txn.Manager, lm *lock.Manager) {
+	obs.RegisterStats(r, "storage", storageStatsHelp, func() any { return store.Stats() })
+	obs.RegisterStats(r, "txn", txnStatsHelp, func() any { return tm.Stats() })
+	obs.RegisterStats(r, "lock", lockStatsHelp, func() any { return lm.Stats() })
+}
+
+// Observability returns the database's metric registry: the trigger
+// engine's counters and latency histograms plus the subsumed storage,
+// txn, and lock Stats. See docs/OBSERVABILITY.md for the full reference.
+func (db *Database) Observability() *obs.Registry { return db.obsReg }
+
+// Tracer returns the database's firing-trace recorder. Tracing is off by
+// default; enable with db.Tracer().SetRate(n) to record one of every n
+// postings into the ring buffer.
+func (db *Database) Tracer() *obs.Tracer { return db.tracer }
+
+// eventString renders an event ID for trace records ("CredCard::after
+// Buy"). Only called on the sampled path.
+func (db *Database) eventString(ev event.ID) string {
+	if info, ok := db.reg.Info(ev); ok {
+		return info.String()
+	}
+	return "?"
+}
+
+// wireObservability builds the registry, metric handles, and tracer for
+// a new database and hooks the transaction manager's commit observer.
+func wireObservability(store storage.Manager, tm *txn.Manager, lm *lock.Manager) (*obs.Registry, *coreMetrics, *obs.Tracer) {
+	reg := obs.NewRegistry()
+	met := newCoreMetrics(reg)
+	RegisterSubsystems(reg, store, tm, lm)
+	tm.SetCommitObserver(func(d time.Duration) { met.commitWaitNs.Observe(d.Nanoseconds()) })
+	return reg, met, obs.NewTracer(obs.DefaultTraceCapacity)
+}

@@ -507,11 +507,24 @@ func (m *Machine) move(state int32, ev event.ID) int32 {
 // activation. It is supplied by the trigger engine when advancing.
 type MaskEval func(maskName string) (bool, error)
 
+// TraceFn observes each raw transition taken while advancing: first the
+// basic-event move (mask == "", outcome unused), then one call per
+// mask-cascade step with the evaluated predicate's name and outcome (the
+// True/False pseudo-event of §5.1.2). An ignored event produces no
+// calls. Supplied by the observability layer for sampled firing traces.
+type TraceFn func(from, to int32, mask string, outcome bool)
+
 // Advance feeds one basic event to the machine from the given state and
 // resolves any resulting mask cascade to quiescence (§5.4.5 steps a–c).
 // It returns the quiesced state and whether an accept state was reached at
 // any point during this posting (the sticky accept of footnote 5).
 func (m *Machine) Advance(state int32, ev event.ID, eval MaskEval) (next int32, accepted bool, err error) {
+	return m.AdvanceTraced(state, ev, eval, nil)
+}
+
+// AdvanceTraced is Advance with an optional transition observer; trace
+// may be nil, which makes it exactly Advance.
+func (m *Machine) AdvanceTraced(state int32, ev event.ID, eval MaskEval, trace TraceFn) (next int32, accepted bool, err error) {
 	if int(state) < 0 || int(state) >= len(m.States) {
 		return state, false, fmt.Errorf("fsm: state %d out of range [0,%d)", state, len(m.States))
 	}
@@ -525,6 +538,9 @@ func (m *Machine) Advance(state int32, ev event.ID, eval MaskEval) (next int32, 
 		// trigger state is needed.
 		return state, false, nil
 	}
+	if trace != nil {
+		trace(state, cur, "", false)
+	}
 	accepted = m.States[cur].Accept
 	// Mask cascade: "Potentially, multiple mask events must be posted
 	// before the system quiesces" (§5.4.5).
@@ -534,10 +550,14 @@ func (m *Machine) Advance(state int32, ev event.ID, eval MaskEval) (next int32, 
 		if err != nil {
 			return cur, accepted, fmt.Errorf("fsm: mask %q: %w", m.Masks[st.Mask], err)
 		}
+		from := cur
 		if v {
 			cur = st.OnTrue
 		} else {
 			cur = st.OnFalse
+		}
+		if trace != nil {
+			trace(from, cur, m.Masks[st.Mask], v)
 		}
 		if m.States[cur].Accept {
 			accepted = true

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns an HTTP handler exposing the observability surface:
+//
+//	/metrics      JSON array of every registered metric (Registry.Snapshot)
+//	/traces       JSON array of the tracer's ring, oldest first
+//	/debug/vars   expvar (Go runtime memstats plus the "ode" registry var)
+//	/debug/pprof  the standard pprof index, profile, trace, symbol pages
+//
+// Wire it with ode-server's -obs-addr flag, or mount it yourself:
+//
+//	http.ListenAndServe("127.0.0.1:6060", obs.Handler(db.Observability(), db.Tracer()))
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, tr.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// publishOnce guards the process-global expvar name "ode": expvar.Publish
+// panics on duplicate names, and a process may open several databases.
+// Only the first served registry appears under /debug/vars; /metrics is
+// always per-registry.
+var publishOnce sync.Once
+
+// Serve starts the observability endpoint on addr (e.g. "127.0.0.1:6060"
+// or ":0") and returns the bound address. The server runs on a
+// background goroutine until the process exits; it is intentionally
+// fire-and-forget, matching expvar/pprof conventions.
+func Serve(addr string, reg *Registry, tr *Tracer) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("ode", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	go http.Serve(ln, Handler(reg, tr))
+	return ln.Addr().String(), nil
+}

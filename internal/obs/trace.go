@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Step kinds recorded in a firing trace, in the order the trigger engine
+// emits them. Every kind and field is documented (with a JSON example)
+// in docs/OBSERVABILITY.md.
+const (
+	// StepTransition is one raw FSM move on the posted basic event:
+	// From → To, with Event naming the consumed event.
+	StepTransition = "transition"
+	// StepMask is one §5.1.2 mask-cascade move: the mask predicate named
+	// Mask was evaluated and the machine consumed the True or False
+	// pseudo-event (Event is "True" or "False"), moving From → To.
+	StepMask = "mask"
+	// StepFire marks a trigger accepting during this posting; Coupling
+	// records the §4.2 mode the firing was routed to.
+	StepFire = "fire"
+	// StepCommitWait is emitted for dependent/!dependent firings when the
+	// detached system transaction starts: WaitNs is the time spent
+	// between detection and the start of detached execution (dominated by
+	// the detecting transaction's commit, including the WAL group-commit
+	// wait).
+	StepCommitWait = "commit_wait"
+	// StepRetry records one detached retry backoff sleep (WaitNs).
+	StepRetry = "retry"
+	// StepActionStart and StepActionEnd bracket the trigger action;
+	// StepActionEnd carries Err when the action failed.
+	StepActionStart = "action_start"
+	// StepActionEnd closes a StepActionStart bracket.
+	StepActionEnd = "action_end"
+)
+
+// Step is one recorded event within a firing trace. TNs is the offset in
+// nanoseconds from the trace's start. Fields not meaningful for a kind
+// are zero ("" / 0 / false); see the kind constants for which apply.
+type Step struct {
+	TNs      int64  `json:"t_ns"`
+	Kind     string `json:"kind"`
+	Trigger  string `json:"trigger,omitempty"`
+	Event    string `json:"event,omitempty"`
+	Mask     string `json:"mask,omitempty"`
+	From     int32  `json:"from"`
+	To       int32  `json:"to"`
+	Coupling string `json:"coupling,omitempty"`
+	WaitNs   int64  `json:"wait_ns,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Trace is one sampled posting and the trigger firings it produced. A
+// Trace is created by Tracer.Start, extended with Add (safe from the
+// posting goroutine and from detached system-transaction goroutines),
+// published into the tracer's ring by Publish, and recycled through a
+// pool once every holder has called Done.
+type Trace struct {
+	id      uint64
+	startNs int64 // wall clock at Start
+	start   time.Time
+	eventID uint32
+	event   string
+	oid     uint64
+
+	mu    sync.Mutex
+	steps []Step
+
+	refs   atomic.Int32
+	tracer *Tracer
+}
+
+// TraceRecord is the immutable, JSON-serializable snapshot of a Trace.
+type TraceRecord struct {
+	ID          uint64 `json:"id"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	EventID     uint32 `json:"event_id"`
+	Event       string `json:"event"`
+	OID         uint64 `json:"oid"`
+	Steps       []Step `json:"steps"`
+}
+
+// Event returns the name of the posted event that started the trace
+// (set by Tracer.Start). Empty on a nil trace.
+func (t *Trace) Event() string {
+	if t == nil {
+		return ""
+	}
+	return t.event
+}
+
+// Add appends one step, stamping its offset from the trace start. Add on
+// a nil trace is a no-op, so unsampled call sites need no guard.
+func (t *Trace) Add(s Step) {
+	if t == nil {
+		return
+	}
+	s.TNs = time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	t.steps = append(t.steps, s)
+	t.mu.Unlock()
+}
+
+// Pin takes an additional reference: a queued firing that will append
+// steps after the posting returns (deferred/dependent/!dependent
+// coupling) pins the trace and calls Done when finished. Pin on nil is a
+// no-op.
+func (t *Trace) Pin() {
+	if t == nil {
+		return
+	}
+	t.refs.Add(1)
+}
+
+// Done releases one reference. When the last reference drops — which,
+// because the ring holds one, happens only after the trace has been
+// evicted — the trace is reset and returned to the pool. Done on nil is
+// a no-op.
+func (t *Trace) Done() {
+	if t == nil {
+		return
+	}
+	if t.refs.Add(-1) == 0 {
+		t.mu.Lock()
+		t.steps = t.steps[:0]
+		t.mu.Unlock()
+		t.tracer.pool.Put(t)
+	}
+}
+
+func (t *Trace) snapshot() TraceRecord {
+	t.mu.Lock()
+	steps := make([]Step, len(t.steps))
+	copy(steps, t.steps)
+	t.mu.Unlock()
+	return TraceRecord{
+		ID:          t.id,
+		StartUnixNs: t.startNs,
+		EventID:     t.eventID,
+		Event:       t.event,
+		OID:         t.oid,
+		Steps:       steps,
+	}
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 256
+
+// Tracer records sampled firing traces into a fixed-size ring that
+// overwrites the oldest entry. The sampling gate is a single atomic
+// load: with rate 0 (the default) Sampled is false, Start is never
+// called, and the trigger hot path performs no tracing work and no
+// allocations.
+type Tracer struct {
+	rate atomic.Uint64 // 0 = off, n = record one of every n postings
+	tick atomic.Uint64 // posting counter for 1-in-n selection
+	seq  atomic.Uint64 // trace IDs
+
+	pool sync.Pool
+
+	mu   sync.Mutex
+	ring []*Trace // ring[pos] is the next slot to overwrite
+	pos  int
+	n    int // live entries (< len(ring) until the ring first wraps)
+}
+
+// NewTracer returns a tracer with the given ring capacity (entries), or
+// DefaultTraceCapacity if capacity is not positive. Tracing starts
+// disabled; call SetRate to enable.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{ring: make([]*Trace, capacity)}
+	t.pool.New = func() any { return &Trace{tracer: t} }
+	return t
+}
+
+// SetRate sets the sampling rate: 0 disables tracing, 1 traces every
+// posting, n traces one of every n postings.
+func (t *Tracer) SetRate(n uint64) { t.rate.Store(n) }
+
+// Rate returns the current sampling rate.
+func (t *Tracer) Rate() uint64 { return t.rate.Load() }
+
+// Sampled reports whether the current posting should be traced. It is
+// the hot-path gate: one atomic load when tracing is off.
+func (t *Tracer) Sampled() bool {
+	r := t.rate.Load()
+	if r == 0 {
+		return false
+	}
+	return t.tick.Add(1)%r == 0
+}
+
+// Start begins a trace for a posting Sampled selected. The caller must
+// eventually Publish it exactly once.
+func (t *Tracer) Start(eventID uint32, event string, oid uint64) *Trace {
+	tr := t.pool.Get().(*Trace)
+	tr.id = t.seq.Add(1)
+	tr.start = time.Now()
+	tr.startNs = tr.start.UnixNano()
+	tr.eventID = eventID
+	tr.event = event
+	tr.oid = oid
+	tr.refs.Store(1) // the caller's reference
+	return tr
+}
+
+// Publish inserts the trace into the ring (evicting — and potentially
+// recycling — the oldest entry) and releases the caller's reference.
+// Pinned firings may keep appending steps after Publish; snapshots taken
+// in between simply see a prefix of the final trace.
+func (t *Tracer) Publish(tr *Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Pin() // the ring's reference
+	t.mu.Lock()
+	evicted := t.ring[t.pos]
+	t.ring[t.pos] = tr
+	t.pos = (t.pos + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.mu.Unlock()
+	if evicted != nil {
+		evicted.Done() // drop the ring's reference to the evicted trace
+	}
+	tr.Done() // the caller's reference
+}
+
+// Snapshot returns the ring's traces, oldest first.
+func (t *Tracer) Snapshot() []TraceRecord {
+	t.mu.Lock()
+	live := make([]*Trace, 0, t.n)
+	start := t.pos - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		tr := t.ring[(start+i)%len(t.ring)]
+		tr.Pin() // keep the trace from being recycled mid-snapshot
+		live = append(live, tr)
+	}
+	t.mu.Unlock()
+	out := make([]TraceRecord, len(live))
+	for i, tr := range live {
+		out[i] = tr.snapshot()
+		tr.Done()
+	}
+	return out
+}
+
+// MarshalJSON renders the ring snapshot as a JSON array (oldest first).
+func (t *Tracer) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.Snapshot())
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetRate(1)
+	for i := 1; i <= 6; i++ {
+		tc := tr.Start(uint32(i), fmt.Sprintf("ev%d", i), uint64(i))
+		tc.Add(Step{Kind: StepFire, Trigger: "t"})
+		tr.Publish(tc)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		wantEv := fmt.Sprintf("ev%d", i+3) // oldest first: ev3..ev6
+		if rec.Event != wantEv {
+			t.Errorf("snapshot[%d].Event = %q, want %q", i, rec.Event, wantEv)
+		}
+		if len(rec.Steps) != 1 || rec.Steps[0].Kind != StepFire {
+			t.Errorf("snapshot[%d].Steps = %+v", i, rec.Steps)
+		}
+	}
+}
+
+func TestTracerSamplingRate(t *testing.T) {
+	tr := NewTracer(8)
+	if tr.Sampled() {
+		t.Fatal("rate 0 sampled a posting")
+	}
+	tr.SetRate(3)
+	n := 0
+	for i := 0; i < 300; i++ {
+		if tr.Sampled() {
+			n++
+		}
+	}
+	if n != 100 {
+		t.Fatalf("rate 3 sampled %d of 300 postings, want 100", n)
+	}
+}
+
+// TestTracerDisabledZeroAlloc proves the hot-path gate is allocation-free
+// when tracing is off — the acceptance criterion for leaving the tracer
+// compiled into the posting path.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	tr := NewTracer(8)
+	var nilTrace *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Sampled() {
+			t.Fatal("sampled with rate 0")
+		}
+		nilTrace.Add(Step{Kind: StepFire}) // unsampled sites call Add on nil
+		nilTrace.Pin()
+		nilTrace.Done()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f per posting, want 0", allocs)
+	}
+}
+
+// TestTracerConcurrent exercises concurrent Start/Add/Publish from many
+// posting goroutines, pinned firings appending after Publish, and
+// snapshots racing with eviction. Run under -race this is the memory-
+// safety proof for the pool/refcount scheme; the assertions check that
+// every snapshotted trace is internally well-ordered.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetRate(1)
+	const posters = 8
+	const perPoster = 200
+	var wg sync.WaitGroup
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPoster; i++ {
+				if !tr.Sampled() {
+					continue
+				}
+				tc := tr.Start(uint32(p), fmt.Sprintf("p%d", p), uint64(i))
+				tc.Add(Step{Kind: StepTransition, From: 0, To: 1})
+				tc.Add(Step{Kind: StepFire, Trigger: "t", Coupling: "immediate"})
+				tc.Pin() // a queued firing
+				tr.Publish(tc)
+				// The detached firing appends after Publish, then drops
+				// its pin (possibly recycling the trace if evicted).
+				tc.Add(Step{Kind: StepActionEnd, Trigger: "t"})
+				tc.Done()
+			}
+		}(p)
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 100; i++ {
+			for _, rec := range tr.Snapshot() {
+				last := int64(-1)
+				for _, s := range rec.Steps {
+					if s.TNs < last {
+						t.Errorf("trace %d steps out of order: %d after %d", rec.ID, s.TNs, last)
+						return
+					}
+					last = s.TNs
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+
+	snap := tr.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("ring holds %d traces, want 16", len(snap))
+	}
+	for _, rec := range snap {
+		if len(rec.Steps) != 3 {
+			t.Fatalf("settled trace %d has %d steps, want 3: %+v", rec.ID, len(rec.Steps), rec.Steps)
+		}
+	}
+}

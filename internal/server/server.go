@@ -43,6 +43,7 @@ type Request struct {
 	ID      uint64          `json:"id,omitempty"` // trigger id for deactivate
 	Args    []any           `json:"args,omitempty"`
 	Value   json.RawMessage `json:"value,omitempty"` // object payload for create
+	Rate    int64           `json:"rate,omitempty"`  // trace op: >0 sets 1-in-n sampling, <0 disables, 0 leaves unchanged
 }
 
 // Response is the server's reply.
@@ -398,6 +399,21 @@ func (sess *session) handle(req *Request) *Response {
 			return fail(err)
 		}
 		return &Response{OK: true, Refs: refs}
+	case "metrics":
+		// The full observability snapshot: every registered counter and
+		// histogram (docs/OBSERVABILITY.md documents each name). No
+		// transaction needed.
+		return &Response{OK: true, Result: sess.db.Observability().Snapshot()}
+	case "trace":
+		// Export the firing-trace ring, oldest first. rate > 0 first sets
+		// 1-in-rate sampling (1 = every posting), rate < 0 disables
+		// tracing, rate 0 leaves the current rate untouched.
+		if req.Rate > 0 {
+			sess.db.Tracer().SetRate(uint64(req.Rate))
+		} else if req.Rate < 0 {
+			sess.db.Tracer().SetRate(0)
+		}
+		return &Response{OK: true, Result: sess.db.Tracer().Snapshot()}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}

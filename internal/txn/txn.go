@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ode/internal/lock"
 	"ode/internal/storage"
@@ -91,6 +92,12 @@ type Manager struct {
 	locks  *lock.Manager
 	nextID atomic.Uint64
 
+	// commitObs, when set, receives the wall-clock duration of each
+	// successful ApplyCommit call — on the eos manager this is the WAL
+	// group-commit wait, the durability price of one transaction. The
+	// observability layer feeds it into the txn.commit_wait_ns histogram.
+	commitObs atomic.Pointer[func(time.Duration)]
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -134,6 +141,17 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// SetCommitObserver installs fn to be called with each committed
+// transaction's ApplyCommit duration (nil uninstalls). The previous
+// observer, if any, is replaced.
+func (m *Manager) SetCommitObserver(fn func(time.Duration)) {
+	if fn == nil {
+		m.commitObs.Store(nil)
+		return
+	}
+	m.commitObs.Store(&fn)
 }
 
 // writeEntry is one buffered effect.
@@ -330,9 +348,17 @@ func (t *Txn) Commit() error {
 			ops = append(ops, storage.Op{Kind: storage.OpWrite, OID: oid, Data: w.data})
 		}
 	}
+	obsFn := t.m.commitObs.Load()
+	var applyStart time.Time
+	if obsFn != nil {
+		applyStart = time.Now()
+	}
 	if err := t.m.store.ApplyCommit(uint64(t.id), ops); err != nil {
 		t.rollback()
 		return fmt.Errorf("%w: apply: %w", ErrAborted, err)
+	}
+	if obsFn != nil {
+		(*obsFn)(time.Since(applyStart))
 	}
 	t.state = Committed
 	t.m.locks.ReleaseAll(lock.TxnID(t.id))
