@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"ode"
 	"ode/internal/baseline/rescan"
@@ -19,6 +20,8 @@ import (
 	"ode/internal/event"
 	"ode/internal/eventexpr"
 	"ode/internal/fsm"
+	"ode/internal/repl"
+	"ode/internal/server"
 	"ode/internal/storage"
 	"ode/internal/storage/dali"
 	"ode/internal/storage/eos"
@@ -757,6 +760,91 @@ func BenchmarkObsOverhead(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- E19: replication ---------------------------------------------------------
+
+// BenchmarkE19Replication measures replicated commit cost over real TCP:
+// the primary ships its WAL through repl.Hub to a streaming repl.Replica
+// on 127.0.0.1. Each iteration is one committed Buy on the primary; the
+// loop ends with a drain to the primary's durable log end, so ns/op
+// amortizes shipping and replica apply on top of the local commit.
+func BenchmarkE19Replication(b *testing.B) {
+	for _, replicas := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := ode.OpenDisk(filepath.Join(dir, "p.eos"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { db.Close() })
+			if err := db.Register(benchCardClass()); err != nil {
+				b.Fatal(err)
+			}
+			store := db.Store().(*eos.Manager)
+			hub := repl.NewHub(store, repl.HubOptions{PingInterval: 10 * time.Millisecond})
+			b.Cleanup(hub.Close)
+			srv := server.NewWithOptions(db, server.Options{
+				StreamOps: map[string]server.StreamHandler{repl.OpSubscribe: hub.HandleSubscribe},
+			})
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+
+			reps := make([]*repl.Replica, replicas)
+			for i := range reps {
+				rpath := filepath.Join(dir, fmt.Sprintf("r%d.eos", i))
+				rstore, err := eos.Open(rpath, eos.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { rstore.Close() })
+				rep, err := repl.NewReplica(addr, rstore, repl.ReplicaOptions{
+					PosPath:    rpath + ".replpos",
+					RedialBase: 2 * time.Millisecond,
+					RedialMax:  20 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep.Start()
+				b.Cleanup(rep.Stop)
+				if err := rep.WaitCaughtUp(10 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				reps[i] = rep
+			}
+
+			tx := db.Begin()
+			ref, err := db.Create(tx, "CredCard", &benchCard{CredLim: 1e15})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := db.Begin()
+				if _, err := db.Invoke(tx, ref, "Buy", 1.0); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pEnd := uint64(store.Log().End())
+			for _, rep := range reps {
+				for rep.Status().AppliedLSN < pEnd {
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+			b.StopTimer()
 		})
 	}
 }

@@ -12,10 +12,17 @@
 //
 //	ode-inspect -traces 127.0.0.1:7047 [-rate 16]
 //
+// With -repl it connects to a running replica ode-server and prints its
+// replication status — applied LSN, lag bytes, reconnects (the server's
+// "repl.status" op):
+//
+//	ode-inspect -repl 127.0.0.1:7048
+//
 // Usage:
 //
 //	ode-inspect [-v] file.eos
 //	ode-inspect -traces addr [-rate n]
+//	ode-inspect -repl addr
 package main
 
 import (
@@ -45,6 +52,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print full payloads")
 	traces := flag.String("traces", "", "fetch firing traces as JSON from a running ode-server at this address")
 	rate := flag.Int64("rate", 0, "with -traces: >0 sets 1-in-n trace sampling on the server, <0 disables it")
+	replAddr := flag.String("repl", "", "fetch replication status as JSON from a running replica ode-server at this address")
 	flag.Parse()
 	if *traces != "" {
 		if err := fetchTraces(*traces, *rate); err != nil {
@@ -52,8 +60,14 @@ func main() {
 		}
 		return
 	}
+	if *replAddr != "" {
+		if err := fetchReplStatus(*replAddr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]")
+		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]  |  ode-inspect -repl addr")
 	}
 	store, err := eos.Open(flag.Arg(0), eos.Options{})
 	if err != nil {
@@ -192,6 +206,41 @@ func fetchTraces(addr string, rate int64) error {
 		req["rate"] = rate
 	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	var resp struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("server: %s", resp.Error)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
+		return err
+	}
+	pretty.WriteByte('\n')
+	_, err = pretty.WriteTo(os.Stdout)
+	return err
+}
+
+// fetchReplStatus asks a running replica for its stream state (the
+// repl.status op) and prints it as indented JSON.
+func fetchReplStatus(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(map[string]any{"op": "repl.status"}); err != nil {
 		return err
 	}
 	line, err := bufio.NewReader(conn).ReadBytes('\n')

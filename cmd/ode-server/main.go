@@ -31,7 +31,9 @@ import (
 	"ode"
 	"ode/internal/core"
 	"ode/internal/obs"
+	"ode/internal/repl"
 	"ode/internal/server"
+	"ode/internal/storage/eos"
 )
 
 // CredCard is the served schema (the paper's §4 class).
@@ -102,22 +104,85 @@ func main() {
 	drain := flag.Duration("drain-timeout", 5*time.Second, "shutdown grace period for in-flight requests")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /traces, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	traceRate := flag.Uint64("trace-rate", 0, "record one of every n postings as a firing trace (0 disables)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary ode-server at this address (disk store only)")
+	syncTimeout := flag.Duration("sync-timeout", 30*time.Second, "replica mode: how long to wait for the initial catch-up")
 	flag.Parse()
+
+	opts := server.Options{
+		MaxRequestBytes: *maxReq,
+		IdleTimeout:     *idle,
+		DrainTimeout:    *drain,
+	}
 
 	var db *ode.Database
 	var err error
-	if *mem {
-		db, err = ode.OpenMemory()
-	} else {
-		db, err = ode.OpenDisk(*dbPath)
-	}
-	if err != nil {
-		log.Fatal(err)
+	switch {
+	case *replicaOf != "":
+		// Replica: sync the store from the primary BEFORE building the
+		// database layer, so no local write races the stream; all the
+		// catalog and trigger state arrives replicated.
+		if *mem {
+			log.Fatal("-replica-of requires the disk store (replication ships the WAL)")
+		}
+		store, err := eos.Open(*dbPath, eos.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := repl.NewReplica(*replicaOf, store, repl.ReplicaOptions{PosPath: *dbPath + ".replpos"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Start()
+		log.Printf("syncing from primary %s ...", *replicaOf)
+		if err := rep.WaitCaughtUp(*syncTimeout); err != nil {
+			log.Fatal(err)
+		}
+		cdb, err := core.NewDatabase(store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db = cdb
+		if err := db.Register(credCardClass()); err != nil {
+			log.Fatal(err)
+		}
+		rep.AttachDatabase(cdb)
+		rep.RegisterMetrics(db.Observability())
+		opts.PrimaryAddr = *replicaOf
+		opts.ExtraOps = map[string]func(*server.Request) *server.Response{
+			"repl.status": func(*server.Request) *server.Response {
+				return &server.Response{OK: true, Result: rep.Status()}
+			},
+			"repl.promote": func(*server.Request) *server.Response {
+				rep.Promote()
+				log.Println("promoted: now accepting writes")
+				return &server.Response{OK: true, Result: rep.Status()}
+			},
+		}
+		log.Printf("replica of %s: caught up, serving reads (lag %d bytes)", *replicaOf, rep.Status().LagBytes)
+	case *mem:
+		if db, err = ode.OpenMemory(); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Register(credCardClass()); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if db, err = ode.OpenDisk(*dbPath); err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Register(credCardClass()); err != nil {
+			log.Fatal(err)
+		}
+		// A disk primary always serves the replication stream: replicas
+		// subscribe with {"op":"repl.subscribe","lsn":N}.
+		if eosStore, ok := db.Store().(*eos.Manager); ok {
+			hub := repl.NewHub(eosStore, repl.HubOptions{})
+			hub.RegisterMetrics(db.Observability())
+			defer hub.Close()
+			opts.StreamOps = map[string]server.StreamHandler{repl.OpSubscribe: hub.HandleSubscribe}
+		}
 	}
 	defer db.Close()
-	if err := db.Register(credCardClass()); err != nil {
-		log.Fatal(err)
-	}
 
 	db.Tracer().SetRate(*traceRate)
 	if *obsAddr != "" {
@@ -128,11 +193,7 @@ func main() {
 		log.Printf("observability endpoint on http://%s (metrics, traces, expvar, pprof)", bound)
 	}
 
-	srv := server.NewWithOptions(dbCore(db), server.Options{
-		MaxRequestBytes: *maxReq,
-		IdleTimeout:     *idle,
-		DrainTimeout:    *drain,
-	})
+	srv := server.NewWithOptions(dbCore(db), opts)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ode/internal/event"
@@ -70,6 +71,11 @@ var (
 	ErrUnknownEvent = errors.New("core: unknown or undeclared event")
 	// ErrNotFound re-exports the storage not-found error.
 	ErrNotFound = storage.ErrNotFound
+	// ErrReadOnly re-exports the storage read-only error: the database
+	// is serving as a read replica and the mutation must be sent to the
+	// primary instead. The server layer attaches the primary's address
+	// as a redirect when it sees this error.
+	ErrReadOnly = storage.ErrReadOnly
 )
 
 // BoundTrigger is the run-time TriggerInfo of §5.4.4: the compiled FSM,
@@ -177,6 +183,13 @@ type Database struct {
 	// at detachedBackoff. See SetDetachedRetryPolicy.
 	detachedRetries int
 	detachedBackoff time.Duration
+
+	// readOnly marks the database a read replica: every mutating entry
+	// point fails fast with ErrReadOnly. Reads, read-only method
+	// invocations, and transient local triggers still work; the
+	// replication applier writes beneath this layer, directly through
+	// the store. Promotion flips it off.
+	readOnly atomic.Bool
 }
 
 // NewDatabase opens a database over an already-opened storage manager.
@@ -237,6 +250,20 @@ func (db *Database) detachedRetryPolicy() (int, time.Duration) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.detachedRetries, db.detachedBackoff
+}
+
+// SetReadOnly flips the database's replica gate; see the readOnly field.
+func (db *Database) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
+
+// ReadOnly reports whether the database rejects mutations.
+func (db *Database) ReadOnly() bool { return db.readOnly.Load() }
+
+// writable is the guard every mutating entry point calls first.
+func (db *Database) writable() error {
+	if db.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return nil
 }
 
 // Store returns the storage manager.

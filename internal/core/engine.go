@@ -289,6 +289,9 @@ func (st *txnState) header(ref Ref) (obj.Header, error) {
 // Create allocates a persistent object (pnew, §2). val must be the
 // concrete type produced by the class factory.
 func (db *Database) Create(tx *txn.Txn, className string, val any) (Ref, error) {
+	if err := db.writable(); err != nil {
+		return NilRef, err
+	}
 	bc, ok := db.ClassOf(className)
 	if !ok {
 		return NilRef, fmt.Errorf("%w: %s", ErrUnknownClass, className)
@@ -334,6 +337,9 @@ func (db *Database) ClassNameOf(tx *txn.Txn, ref Ref) (string, error) {
 // Delete removes an object (pdelete) along with its active trigger
 // states and index entries.
 func (db *Database) Delete(tx *txn.Txn, ref Ref) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	st := db.state(tx)
 	tsOIDs, err := db.om.TriggersOn(tx, ref.oid)
 	if err != nil {
@@ -350,11 +356,17 @@ func (db *Database) Delete(tx *txn.Txn, ref Ref) error {
 
 // ClusterAdd places an object in a named cluster (§2).
 func (db *Database) ClusterAdd(tx *txn.Txn, cluster string, ref Ref) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	return db.om.ClusterAdd(tx, cluster, ref.oid)
 }
 
 // ClusterRemove removes an object from a cluster.
 func (db *Database) ClusterRemove(tx *txn.Txn, cluster string, ref Ref) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	return db.om.ClusterRemove(tx, cluster, ref.oid)
 }
 
@@ -383,6 +395,12 @@ func (db *Database) Invoke(tx *txn.Txn, ref Ref, method string, args ...any) (an
 		return nil, fmt.Errorf("%w: %s.%s", ErrUnknownMethod, inst.bc.Def.name, method)
 	}
 	if !md.ReadOnly {
+		// Mutators are refused on a replica up front; read-only methods
+		// proceed (if one posts an event that advances a persistent FSM,
+		// the storage gate rejects that write at commit instead).
+		if err := db.writable(); err != nil {
+			return nil, err
+		}
 		// Upgrade to the exclusive lock before running the mutator.
 		if _, _, err := st.load(ref, true); err != nil {
 			return nil, err
@@ -415,6 +433,9 @@ func (db *Database) Invoke(tx *txn.Txn, ref Ref, method string, args ...any) (an
 // PostUserEvent posts a declared user-defined event to an object (§4:
 // "user-defined events must be explicitly posted by the application").
 func (db *Database) PostUserEvent(tx *txn.Txn, ref Ref, name string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	st := db.state(tx)
 	inst, _, err := st.load(ref, false)
 	if err != nil {
@@ -440,6 +461,9 @@ func (db *Database) PostUserEvent(tx *txn.Txn, ref Ref, name string) error {
 // arguments, returning the TriggerID used to deactivate it. Triggers
 // never fire without an explicit activation (§4.1).
 func (db *Database) Activate(tx *txn.Txn, ref Ref, trigger string, args ...any) (TriggerID, error) {
+	if err := db.writable(); err != nil {
+		return TriggerID{}, err
+	}
 	st := db.state(tx)
 	inst, _, err := st.load(ref, false)
 	if err != nil {
@@ -500,6 +524,9 @@ func normalizeArgs(args []any) []any {
 
 // Deactivate removes a trigger activation (§4.1's deactivate(TriggerId)).
 func (db *Database) Deactivate(tx *txn.Txn, id TriggerID) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	raw, err := db.om.LoadTriggerState(tx, id.oid, true)
 	if err != nil {
 		return err

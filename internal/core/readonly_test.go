@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestReadOnlyGuards: a replica database refuses every mutating entry
+// point with ErrReadOnly but still serves reads and read-only method
+// invocations, and promotion makes it writable again.
+func TestReadOnlyGuards(t *testing.T) {
+	db := newTestDB(t, newCredCardClass())
+	tx := db.Begin()
+	ref, err := db.Create(tx, "CredCard", &CredCard{CredLim: 1000, GoodHist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Invoke(tx, ref, "Buy", 10.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	db.SetReadOnly(true)
+	if !db.ReadOnly() {
+		t.Fatal("ReadOnly() false after SetReadOnly(true)")
+	}
+	rt := db.Begin()
+	// Reads pass.
+	if _, err := db.Get(rt, ref); err != nil {
+		t.Fatalf("Get on replica: %v", err)
+	}
+	if _, err := db.ActiveTriggers(rt, ref); err != nil {
+		t.Fatalf("ActiveTriggers on replica: %v", err)
+	}
+	// Mutators fail fast.
+	if _, err := db.Create(rt, "CredCard", &CredCard{}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Create = %v, want ErrReadOnly", err)
+	}
+	if _, err := db.Invoke(rt, ref, "Buy", 5.0); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Invoke(mutator) = %v, want ErrReadOnly", err)
+	}
+	if err := db.Delete(rt, ref); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Delete = %v, want ErrReadOnly", err)
+	}
+	if err := db.ClusterAdd(rt, "c", ref); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("ClusterAdd = %v, want ErrReadOnly", err)
+	}
+	if _, err := db.Activate(rt, ref, "AutoRaiseLimit", 500.0); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Activate = %v, want ErrReadOnly", err)
+	}
+	if _, err := db.CreateVersion(rt, ref); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("CreateVersion = %v, want ErrReadOnly", err)
+	}
+
+	rt.Abort() // release read locks before the write txn below
+
+	// Promotion restores writes — the failover path.
+	db.SetReadOnly(false)
+	wt := db.Begin()
+	if _, err := db.Invoke(wt, ref, "Buy", 5.0); err != nil {
+		t.Fatalf("Invoke after promotion: %v", err)
+	}
+	if err := wt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

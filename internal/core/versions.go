@@ -25,6 +25,9 @@ func versionClusterName(oid storage.OID) string {
 // CreateVersion snapshots ref's current state (including uncommitted
 // changes visible to tx) into a new immutable object and returns its Ref.
 func (db *Database) CreateVersion(tx *txn.Txn, ref Ref) (Ref, error) {
+	if err := db.writable(); err != nil {
+		return NilRef, err
+	}
 	st := db.state(tx)
 	inst, _, err := st.load(ref, false)
 	if err != nil {
@@ -57,6 +60,9 @@ func (db *Database) Versions(tx *txn.Txn, ref Ref) ([]Ref, error) {
 
 // DropVersion deletes one snapshot and removes it from the version list.
 func (db *Database) DropVersion(tx *txn.Txn, base, version Ref) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	if err := db.om.ClusterRemove(tx, versionClusterName(base.oid), version.oid); err != nil {
 		return err
 	}
@@ -69,6 +75,9 @@ func (db *Database) DropVersion(tx *txn.Txn, base, version Ref) error {
 // Note that restoring state this way posts no events — it is a storage
 // operation, not a member-function invocation.
 func (db *Database) RollbackToVersion(tx *txn.Txn, base, version Ref) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	st := db.state(tx)
 	vinst, _, err := st.load(version, false)
 	if err != nil {

@@ -1,0 +1,255 @@
+package torture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ode/internal/storage"
+	"ode/internal/storage/eos"
+	"ode/internal/wal"
+)
+
+// This file extends the torture harness to the replication path: the
+// link between primary and replica is "cut" at every record boundary of
+// the primary's log, and at each cut the replica must satisfy the
+// replication invariants:
+//
+//  1. The replica's store is byte-identical to a model replay of the
+//     primary's durable prefix up to the cut: committed transactions
+//     only, applied in commit order. No torn transaction is ever
+//     visible, no committed one is lost.
+//  2. Trigger FSM state on the replica is never ahead of committed
+//     object state (the same Fired == Count invariant recovery must
+//     uphold — the replica applies through the identical log-ordered
+//     path, so a promoted replica resumes detection from consistent
+//     state).
+//  3. After the link "heals", resuming from the replica's durable
+//     position — the last applied commit boundary, exactly what the
+//     stream's sidecar records — converges the replica to the full
+//     log's replay, re-applying any overlap idempotently.
+//
+// The sweep drives the replica's apply semantics directly (per-record
+// grouping by transaction, ApplyReplicated at each commit record, the
+// resume position advancing only at commit boundaries), which is the
+// same algorithm internal/repl's Replica runs on wire frames; the
+// TCP/framing layer itself is exercised by that package's live
+// link-flap tests.
+
+// ReplSweepResult reports what a replication sweep covered.
+type ReplSweepResult struct {
+	Commits int // acknowledged workload transactions on the primary
+	Records int // records in the shipped log
+	Cuts    int // link-cut points verified (every boundary + end)
+}
+
+// replicaApplyRange feeds records whose extents lie in [from, to) to
+// the store the way the replication stream would: ops buffer per
+// transaction and commit through ApplyReplicated. It returns the
+// replica's durable resume position — the boundary after the last
+// applied commit, or `to` when no transaction was left in flight.
+func replicaApplyRange(m *eos.Manager, recs []wal.Record, starts []int64, logEnd, from, to int64) (resume int64, err error) {
+	pending := make(map[uint64][]storage.Op)
+	resume = from
+	for i := range recs {
+		s := starts[i]
+		e := logEnd
+		if i+1 < len(starts) {
+			e = starts[i+1]
+		}
+		if s < from || e > to {
+			continue
+		}
+		rec := &recs[i]
+		switch rec.Type {
+		case wal.RecUpdate, wal.RecAllocate:
+			data := append([]byte(nil), rec.Data...)
+			pending[rec.Txn] = append(pending[rec.Txn], storage.Op{Kind: storage.OpWrite, OID: storage.OID(rec.OID), Data: data})
+		case wal.RecFree:
+			pending[rec.Txn] = append(pending[rec.Txn], storage.Op{Kind: storage.OpFree, OID: storage.OID(rec.OID)})
+		case wal.RecCommit:
+			ops := pending[rec.Txn]
+			delete(pending, rec.Txn)
+			if err := m.ApplyReplicated(rec.Txn, ops); err != nil {
+				return 0, fmt.Errorf("apply txn %d: %w", rec.Txn, err)
+			}
+			resume = e
+		case wal.RecCheckpoint:
+			// Primary checkpoint marker: nothing to apply.
+		}
+	}
+	if len(pending) == 0 {
+		resume = to
+	}
+	return resume, nil
+}
+
+// compareStore checks that the live objects in m are exactly `want`,
+// byte for byte.
+func compareStore(m *eos.Manager, want map[storage.OID][]byte, cut int64) error {
+	got := make(map[storage.OID][]byte)
+	if err := m.Iterate(func(oid storage.OID, data []byte) error {
+		got[oid] = append([]byte(nil), data...)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("cut=%d: iterate replica: %w", cut, err)
+	}
+	for oid, w := range want {
+		g, ok := got[oid]
+		if !ok {
+			return fmt.Errorf("cut=%d: oid %d committed on primary but missing on replica", cut, oid)
+		}
+		if !bytes.Equal(g, w) {
+			return fmt.Errorf("cut=%d: oid %d image diverges between replica and durable-prefix replay", cut, oid)
+		}
+	}
+	for oid := range got {
+		if _, ok := want[oid]; !ok {
+			return fmt.Errorf("cut=%d: oid %d on replica but not committed in the primary's durable prefix", cut, oid)
+		}
+	}
+	return nil
+}
+
+// prefixModel replays the first t bytes of the primary's log (always a
+// record boundary here) into the expected object map.
+func prefixModel(dir string, walBytes []byte, t int64) (map[storage.OID][]byte, error) {
+	p := filepath.Join(dir, "prefix.wal")
+	if err := os.WriteFile(p, walBytes[:t], 0o644); err != nil {
+		return nil, err
+	}
+	return replayModel(p)
+}
+
+// ReplSweep runs the trigger workload on a primary, then replays the
+// resulting log into a fresh replica cut at every record boundary,
+// verifying the three replication invariants at each cut (see the file
+// comment). The replica store is closed and reopened between the cut
+// and the resume, so the resumed stream also crosses a replica restart.
+func ReplSweep(dir string, cfg Config) (*ReplSweepResult, error) {
+	cfg = cfg.withDefaults()
+	path := filepath.Join(dir, "work.eos")
+	acked, err := workload(path, cfg, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplSweepResult{}
+	for _, n := range acked {
+		res.Commits += n
+	}
+	if res.Commits != cfg.Txns {
+		return nil, fmt.Errorf("torture: fault-free workload acked %d/%d txns", res.Commits, cfg.Txns)
+	}
+	walBytes, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		return nil, err
+	}
+
+	// Decode the shipped records and their extents from a scratch copy.
+	scratch := filepath.Join(dir, "repl-extents.wal")
+	if err := os.WriteFile(scratch, walBytes, 0o644); err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(scratch)
+	if err != nil {
+		return nil, err
+	}
+	var starts []int64
+	var recs []wal.Record
+	if err := l.Scan(func(lsn wal.LSN, rec *wal.Record) error {
+		starts = append(starts, int64(lsn))
+		recs = append(recs, wal.Record{
+			Type: rec.Type, Txn: rec.Txn, OID: rec.OID,
+			Data: append([]byte(nil), rec.Data...),
+		})
+		return nil
+	}); err != nil {
+		l.Close()
+		return nil, err
+	}
+	logEnd := l.Size()
+	l.Close()
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("torture: workload produced an empty log")
+	}
+	res.Records = len(recs)
+
+	fullWant, err := prefixModel(dir, walBytes, logEnd)
+	if err != nil {
+		return nil, err
+	}
+
+	cuts := append(append([]int64(nil), starts...), logEnd)
+	replDir := filepath.Join(dir, "replica")
+	for _, t := range cuts {
+		if err := verifyCut(replDir, recs, starts, logEnd, t, walBytes, fullWant, dir); err != nil {
+			return nil, err
+		}
+		res.Cuts++
+	}
+	return res, nil
+}
+
+// verifyCut materializes one link-cut state and checks all three
+// invariants for it.
+func verifyCut(replDir string, recs []wal.Record, starts []int64, logEnd, t int64, walBytes []byte, fullWant map[storage.OID][]byte, dir string) error {
+	if err := os.MkdirAll(replDir, 0o755); err != nil {
+		return err
+	}
+	defer os.RemoveAll(replDir)
+	rp := filepath.Join(replDir, "r.eos")
+	opts := eos.Options{CacheSize: cachePages, NoAutoCheckpoint: true}
+
+	// Stream [0, t), then the link cuts.
+	m, err := eos.Open(rp, opts)
+	if err != nil {
+		return fmt.Errorf("cut=%d: open replica: %w", t, err)
+	}
+	resume, err := replicaApplyRange(m, recs, starts, logEnd, 0, t)
+	if err != nil {
+		m.Close()
+		return fmt.Errorf("cut=%d: %w", t, err)
+	}
+
+	// Invariant 1: replica == durable-prefix replay at the cut.
+	want, err := prefixModel(dir, walBytes, t)
+	if err != nil {
+		m.Close()
+		return err
+	}
+	if err := compareStore(m, want, t); err != nil {
+		m.Close()
+		return err
+	}
+	if err := m.Close(); err != nil {
+		return fmt.Errorf("cut=%d: close replica: %w", t, err)
+	}
+
+	// Invariant 2: trigger FSM state at the cut is consistent with the
+	// committed objects (vacuous before the setup commit lands).
+	m2, err := eos.Open(rp, opts)
+	if err != nil {
+		return fmt.Errorf("cut=%d: reopen replica: %w", t, err)
+	}
+	if err := verifyTriggerConsistency(m2, t); err != nil {
+		return fmt.Errorf("cut=%d: %w", t, err)
+	}
+
+	// Invariant 3: the link heals — resume from the replica's durable
+	// position (a commit boundary ≤ cut; the overlap re-applies
+	// idempotently) and converge to the full log's state.
+	m3, err := eos.Open(rp, opts)
+	if err != nil {
+		return fmt.Errorf("cut=%d: reopen for resume: %w", t, err)
+	}
+	if _, err := replicaApplyRange(m3, recs, starts, logEnd, resume, logEnd); err != nil {
+		m3.Close()
+		return fmt.Errorf("cut=%d: resume: %w", t, err)
+	}
+	if err := compareStore(m3, fullWant, t); err != nil {
+		m3.Close()
+		return fmt.Errorf("after resume: %w", err)
+	}
+	return verifyTriggerConsistency(m3, t)
+}

@@ -1,0 +1,22 @@
+package torture
+
+import "testing"
+
+// TestReplSweep cuts the replication link at every record boundary of
+// the primary's log: at each cut the replica must equal the replay of
+// the durable prefix, its trigger state must be consistent, and a
+// resumed stream must converge it to the full log's state.
+func TestReplSweep(t *testing.T) {
+	res, err := ReplSweep(t.TempDir(), Config{Objects: 3, Txns: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 20 {
+		t.Fatalf("commits = %d, want 20", res.Commits)
+	}
+	// One cut per record boundary plus the log end.
+	if res.Cuts != res.Records+1 {
+		t.Fatalf("cuts = %d, want %d (every boundary + end)", res.Cuts, res.Records+1)
+	}
+	t.Logf("verified %d link-cut points over %d records", res.Cuts, res.Records)
+}

@@ -1,0 +1,46 @@
+package repl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ode/internal/obs"
+	"ode/internal/storage/eos"
+)
+
+// TestReplMetricDocCoverage extends the repository's doc-coverage
+// contract to the replication metrics: the root observability test only
+// sees what an open database registers, and repl.* names appear only on
+// nodes with a replication role, so this test registers both sides on a
+// fresh registry and requires every name in docs/OBSERVABILITY.md.
+func TestReplMetricDocCoverage(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("docs/OBSERVABILITY.md missing: %v", err)
+	}
+	doc := string(raw)
+
+	path := filepath.Join(t.TempDir(), "doc.eos")
+	store, err := eos.Open(path, eos.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(store, HubOptions{})
+	defer hub.Close()
+	rep, err := NewReplica("127.0.0.1:1", store, ReplicaOptions{PosPath: path + ".replpos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	reg := obs.NewRegistry()
+	hub.RegisterMetrics(reg)
+	rep.RegisterMetrics(reg)
+	for _, name := range reg.Names() {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("metric %q is not documented in docs/OBSERVABILITY.md", name)
+		}
+	}
+}

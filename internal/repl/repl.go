@@ -1,0 +1,76 @@
+// Package repl is log-shipping replication for the EOS-backed Ode
+// database: a primary streams its durable WAL records, in log order, to
+// read replicas that apply them through the same log-ordered commit
+// path the primary uses for recovery.
+//
+// The design leans on two properties the rest of the repository already
+// establishes. First, the WAL is redo-only with full after-images, so
+// applying a committed batch is idempotent — a replica that re-receives
+// a prefix after reconnecting converges to the same bytes. Second,
+// *everything* that matters rides the log: object images, the catalog,
+// clusters, and — crucially for the paper's §7 global composite events —
+// the persistent TriggerState objects. Shipping the log therefore ships
+// trigger FSM state, which is what lets a promoted replica resume a
+// half-matched composite event exactly where the primary left it.
+//
+// Wire protocol (over the server package's TCP listener): a replica
+// sends the ordinary JSON request
+//
+//	{"op":"repl.subscribe","lsn":N}
+//
+// and the connection switches to a one-way stream of JSON frames:
+//
+//	{"t":"snap","lsn":L,"next_oid":M}   snapshot bootstrap begins
+//	{"t":"obj","oid":K,"data":"..."}    one object image (repeated)
+//	{"t":"snapend"}                     snapshot complete; stream follows
+//	{"t":"recs","lsn":L,"next":N,"end":E,"recs":[...]}  WAL records
+//	{"t":"ping","end":E}                heartbeat with durable end
+//	{"t":"err","err":"..."}             terminal error
+//
+// A snapshot is sent only when the requested position is out of range —
+// below the primary's log base (checkpoint-truncated away) or beyond
+// its end (the replica outlived a primary rollback). Lag is measured in
+// log bytes: the primary's durable end minus the replica's applied
+// position, both in the primary's LSN space.
+package repl
+
+// Frame is one streamed message. T selects which other fields are
+// meaningful (see the package comment for the grammar).
+type Frame struct {
+	T       string    `json:"t"`
+	LSN     uint64    `json:"lsn,omitempty"`      // snap: snapshot LSN; recs: first record's LSN
+	Next    uint64    `json:"next,omitempty"`     // recs: LSN just past the batch
+	End     uint64    `json:"end,omitempty"`      // recs/ping: primary durable end (lag basis)
+	NextOID uint64    `json:"next_oid,omitempty"` // snap: primary's OID allocator position
+	OID     uint64    `json:"oid,omitempty"`      // obj
+	Data    []byte    `json:"data,omitempty"`     // obj (base64 via encoding/json)
+	Recs    []WireRec `json:"recs,omitempty"`     // recs
+	Err     string    `json:"err,omitempty"`      // err
+}
+
+// Frame type tags.
+const (
+	FrameSnap    = "snap"
+	FrameObj     = "obj"
+	FrameSnapEnd = "snapend"
+	FrameRecs    = "recs"
+	FramePing    = "ping"
+	FrameErr     = "err"
+)
+
+// WireRec is one WAL record on the wire. Next is the LSN just past the
+// record: the replica resumes from the Next of the last commit record
+// it applied, which is always a transaction-batch boundary (commit
+// batches are appended contiguously), so a resumed stream never starts
+// mid-transaction.
+type WireRec struct {
+	Type uint8  `json:"k"`
+	Txn  uint64 `json:"x"`
+	OID  uint64 `json:"o,omitempty"`
+	Data []byte `json:"d,omitempty"`
+	Next uint64 `json:"n"`
+}
+
+// OpSubscribe is the wire op a replica opens its stream with; register
+// the Hub's handler under this name in server.Options.StreamOps.
+const OpSubscribe = "repl.subscribe"

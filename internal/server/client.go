@@ -6,45 +6,190 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 )
 
 // ErrRemoteAborted reports that the server rolled the transaction back
 // (tabort from a trigger, or deadlock victimization).
 var ErrRemoteAborted = errors.New("server: transaction aborted")
 
+// ErrClosed reports a call on a Client after Close.
+var ErrClosed = errors.New("server: client closed")
+
+// RedirectError reports a write rejected by a read replica, carrying
+// the primary's address so callers can re-issue the request there.
+type RedirectError struct {
+	Primary string
+	Msg     string
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("server: read-only replica (primary at %s): %s", e.Primary, e.Msg)
+}
+
+// Backoff produces capped exponential waits: Base, 2*Base, 4*Base, ...
+// up to Max. The zero value is usable (defaults 10ms..1s). It is shared
+// by the client redial loop and the replication reconnect loop.
+type Backoff struct {
+	Base time.Duration // first wait (default 10ms)
+	Max  time.Duration // cap (default 1s)
+	next time.Duration
+}
+
+// Next returns the wait before the upcoming retry and advances the
+// schedule.
+func (b *Backoff) Next() time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if b.next <= 0 {
+		b.next = base
+	}
+	d := b.next
+	if d > max {
+		d = max
+	}
+	b.next = d * 2
+	return d
+}
+
+// Reset restarts the schedule from Base (call after a success).
+func (b *Backoff) Reset() { b.next = 0 }
+
+// ClientOptions hardens a client against a flaky server/network.
+type ClientOptions struct {
+	// RequestTimeout, when positive, bounds each call's send+receive; an
+	// expired deadline drops the connection (the next call redials).
+	RequestTimeout time.Duration
+	// DialAttempts is how many times a call may try to (re)establish the
+	// connection before giving up, with capped exponential backoff
+	// between tries. Default 1: fail fast, exactly like the pre-options
+	// client.
+	DialAttempts int
+	// RedialBase/RedialMax shape the backoff between dial attempts
+	// (defaults 10ms / 1s).
+	RedialBase time.Duration
+	RedialMax  time.Duration
+}
+
 // Client is a single-session client: one connection, at most one open
-// transaction — an "application" in the paper's sense.
+// transaction — an "application" in the paper's sense. A transport
+// failure (send/receive error, request timeout) drops the connection;
+// the next call transparently redials with capped backoff. Redialing
+// never re-sends the failed request — the server may or may not have
+// executed it, and any transaction open on the old connection has been
+// aborted server-side — so callers retry at the transaction level.
+// Not safe for concurrent use.
 type Client struct {
+	addr string
+	opts ClientOptions
+
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
+
+	closed     bool
+	reconnects int
 }
 
-// Dial connects to an Ode server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: dial: %w", err)
+// Dial connects to an Ode server with default options (fail-fast, no
+// timeouts).
+func Dial(addr string) (*Client, error) { return DialOptions(addr, ClientOptions{}) }
+
+// DialOptions connects to an Ode server, retrying the initial dial per
+// opts.DialAttempts.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	if opts.DialAttempts <= 0 {
+		opts.DialAttempts = 1
 	}
-	return &Client{
-		conn: conn,
-		enc:  json.NewEncoder(conn),
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-	}, nil
+	c := &Client{addr: addr, opts: opts}
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Close drops the connection (the server aborts any open transaction).
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Reconnects counts how many times the client re-established its
+// connection after the initial dial.
+func (c *Client) Reconnects() int { return c.reconnects }
+
+// dropConn discards a connection known (or suspected) broken; the next
+// call redials.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// ensureConn (re)establishes the connection, waiting with capped
+// exponential backoff between attempts.
+func (c *Client) ensureConn() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	bo := Backoff{Base: c.opts.RedialBase, Max: c.opts.RedialMax}
+	var err error
+	for i := 0; i < c.opts.DialAttempts; i++ {
+		if i > 0 {
+			time.Sleep(bo.Next())
+		}
+		var conn net.Conn
+		conn, err = net.DialTimeout("tcp", c.addr, c.opts.RequestTimeout)
+		if err == nil {
+			if c.enc != nil {
+				c.reconnects++ // not the first connection
+			}
+			c.conn = conn
+			c.enc = json.NewEncoder(conn)
+			c.dec = json.NewDecoder(bufio.NewReader(conn))
+			return nil
+		}
+	}
+	return fmt.Errorf("server: dial %s: %w", c.addr, err)
+}
 
 func (c *Client) call(req *Request) (*Response, error) {
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	if c.opts.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.RequestTimeout))
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.dropConn()
 		return nil, fmt.Errorf("server: send: %w", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.dropConn()
 		return nil, fmt.Errorf("server: recv: %w", err)
 	}
+	if c.opts.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
 	if !resp.OK {
+		if resp.Redirect != "" {
+			return &resp, &RedirectError{Primary: resp.Redirect, Msg: resp.Error}
+		}
 		if resp.Aborted {
 			return &resp, fmt.Errorf("%w: %s", ErrRemoteAborted, resp.Error)
 		}
@@ -146,3 +291,7 @@ func (c *Client) ClusterScan(cluster string) ([]uint64, error) {
 	}
 	return resp.Refs, nil
 }
+
+// Call sends an arbitrary request — the escape hatch for extension ops
+// (repl.status, repl.promote) registered through Options.ExtraOps.
+func (c *Client) Call(req *Request) (*Response, error) { return c.call(req) }

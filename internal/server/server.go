@@ -44,19 +44,27 @@ type Request struct {
 	Args    []any           `json:"args,omitempty"`
 	Value   json.RawMessage `json:"value,omitempty"` // object payload for create
 	Rate    int64           `json:"rate,omitempty"`  // trace op: >0 sets 1-in-n sampling, <0 disables, 0 leaves unchanged
+	LSN     uint64          `json:"lsn,omitempty"`   // stream ops: resume position (repl.subscribe)
 }
 
 // Response is the server's reply.
 type Response struct {
-	OK      bool            `json:"ok"`
-	Error   string          `json:"error,omitempty"`
-	Aborted bool            `json:"aborted,omitempty"` // txn rolled back (tabort/deadlock)
-	Ref     uint64          `json:"ref,omitempty"`
-	ID      uint64          `json:"id,omitempty"`
-	Refs    []uint64        `json:"refs,omitempty"`
-	Result  any             `json:"result,omitempty"`
-	Value   json.RawMessage `json:"value,omitempty"`
+	OK       bool            `json:"ok"`
+	Error    string          `json:"error,omitempty"`
+	Aborted  bool            `json:"aborted,omitempty"`  // txn rolled back (tabort/deadlock)
+	Redirect string          `json:"redirect,omitempty"` // write hit a read replica: retry against this primary address
+	Ref      uint64          `json:"ref,omitempty"`
+	ID       uint64          `json:"id,omitempty"`
+	Refs     []uint64        `json:"refs,omitempty"`
+	Result   any             `json:"result,omitempty"`
+	Value    json.RawMessage `json:"value,omitempty"`
 }
+
+// StreamHandler takes over a connection after its request line: the
+// handler owns reads and writes until it returns, and the connection is
+// closed afterwards. Idle timeouts are cleared first — a streaming
+// subscriber is expected to sit quiet for long stretches.
+type StreamHandler func(conn net.Conn, req *Request) error
 
 // DefaultMaxRequestBytes caps a single request line when Options leaves
 // MaxRequestBytes zero.
@@ -78,6 +86,18 @@ type Options struct {
 	// up to this long to write their response and exit, and only the
 	// stragglers are hard-closed.
 	DrainTimeout time.Duration
+	// PrimaryAddr, set on a read replica, is attached as Response.
+	// Redirect whenever a request fails with core.ErrReadOnly, so
+	// clients learn where writes go without out-of-band configuration.
+	PrimaryAddr string
+	// ExtraOps adds sessionless ops (admin/introspection; the repl
+	// status and promote ops) dispatched before the built-ins. The
+	// handler runs with no transaction attached and must not retain req.
+	ExtraOps map[string]func(req *Request) *Response
+	// StreamOps adds connection-consuming ops (the repl subscribe op):
+	// after the request line the handler owns the connection and the
+	// normal request loop never resumes.
+	StreamOps map[string]StreamHandler
 }
 
 // Server serves one database to many connections.
@@ -193,15 +213,16 @@ func (s *Server) Close() error {
 
 // session is one connection's state.
 type session struct {
-	db *core.Database
-	tx *txn.Txn
+	db      *core.Database
+	tx      *txn.Txn
+	primary string // Options.PrimaryAddr: redirect target for writes on a replica
 }
 
 // serve runs the request loop for one connection. Requests are read a
 // line at a time so the size cap applies before any JSON is parsed.
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
-	sess := &session{db: s.db}
+	sess := &session{db: s.db, primary: s.opts.PrimaryAddr}
 	defer func() {
 		if sess.tx != nil && sess.tx.State() == txn.Active {
 			sess.tx.Abort()
@@ -236,18 +257,48 @@ func (s *Server) serve(conn net.Conn) {
 			enc.Encode(&Response{Error: "malformed request: " + err.Error()})
 			return
 		}
+		if h, ok := s.opts.StreamOps[req.Op]; ok {
+			// The handler owns the connection from here. Clear the idle
+			// deadline: a subscriber may legitimately send nothing for
+			// the rest of the connection's life.
+			conn.SetReadDeadline(time.Time{})
+			if err := h(conn, &req); err != nil {
+				enc.Encode(&Response{Error: err.Error()})
+			}
+			return
+		}
+		if fn, ok := s.opts.ExtraOps[req.Op]; ok {
+			if err := enc.Encode(safeExtra(fn, &req)); err != nil {
+				return
+			}
+			continue
+		}
 		if err := enc.Encode(sess.safeHandle(&req)); err != nil {
 			return
 		}
 	}
 }
 
-func fail(err error) *Response {
+func (sess *session) fail(err error) *Response {
 	r := &Response{Error: err.Error()}
 	if errors.Is(err, txn.ErrAborted) {
 		r.Aborted = true
 	}
+	if sess.primary != "" && errors.Is(err, core.ErrReadOnly) {
+		r.Redirect = sess.primary
+	}
 	return r
+}
+
+// safeExtra isolates an ExtraOps handler panic to the request that
+// caused it, mirroring safeHandle.
+func safeExtra(fn func(*Request) *Response, req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{Error: fmt.Sprintf("internal error in %q handler: %v", req.Op, r)}
+		}
+	}()
+	return fn(req)
 }
 
 // safeHandle isolates a handler panic (a bad type assertion in an
@@ -274,121 +325,121 @@ func (sess *session) handle(req *Request) *Response {
 	switch req.Op {
 	case "begin":
 		if sess.tx != nil && sess.tx.State() == txn.Active {
-			return fail(errors.New("transaction already open"))
+			return sess.fail(errors.New("transaction already open"))
 		}
 		sess.tx = sess.db.Begin()
 		return &Response{OK: true}
 	case "commit":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		err := sess.tx.Commit()
 		sess.tx = nil
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true}
 	case "abort":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		err := sess.tx.Abort()
 		sess.tx = nil
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true}
 	case "create":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		bc, ok := sess.db.ClassOf(req.Class)
 		if !ok {
-			return fail(fmt.Errorf("unknown class %q", req.Class))
+			return sess.fail(fmt.Errorf("unknown class %q", req.Class))
 		}
 		val := bc.Def.NewInstance()
 		if len(req.Value) > 0 {
 			if err := json.Unmarshal(req.Value, val); err != nil {
-				return fail(fmt.Errorf("decode value: %w", err))
+				return sess.fail(fmt.Errorf("decode value: %w", err))
 			}
 		}
 		ref, err := sess.db.Create(sess.tx, req.Class, val)
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true, Ref: uint64(ref.OID())}
 	case "get":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		v, err := sess.db.Get(sess.tx, core.RefFromOID(storage.OID(req.Ref)))
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		raw, err := json.Marshal(v)
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true, Value: raw}
 	case "invoke":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		ret, err := sess.db.Invoke(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Method, req.Args...)
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true, Result: ret}
 	case "post":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		if err := sess.db.PostUserEvent(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Event); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true}
 	case "activate":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		id, err := sess.db.Activate(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Trigger, req.Args...)
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true, ID: uint64(id.OID())}
 	case "deactivate":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		id := core.TriggerIDFromOID(storage.OID(req.ID))
 		if err := sess.db.Deactivate(sess.tx, id); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true}
 	case "triggers":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		infos, err := sess.db.ActiveTriggers(sess.tx, core.RefFromOID(storage.OID(req.Ref)))
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		raw, err := json.Marshal(infos)
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true, Value: raw}
 	case "clusteradd":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		if err := sess.db.ClusterAdd(sess.tx, req.Cluster, core.RefFromOID(storage.OID(req.Ref))); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true}
 	case "scan":
 		if err := sess.needTx(); err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		var refs []uint64
 		err := sess.db.ClusterScan(sess.tx, req.Cluster, func(r core.Ref) error {
@@ -396,7 +447,7 @@ func (sess *session) handle(req *Request) *Response {
 			return nil
 		})
 		if err != nil {
-			return fail(err)
+			return sess.fail(err)
 		}
 		return &Response{OK: true, Refs: refs}
 	case "metrics":
@@ -415,7 +466,7 @@ func (sess *session) handle(req *Request) *Response {
 		}
 		return &Response{OK: true, Result: sess.db.Tracer().Snapshot()}
 	default:
-		return fail(fmt.Errorf("unknown op %q", req.Op))
+		return sess.fail(fmt.Errorf("unknown op %q", req.Op))
 	}
 }
 

@@ -106,10 +106,21 @@ type Manager struct {
 	nextOID   storage.OID
 
 	stats storage.Stats
-	// closed is written with both seqMu and mu held, so either lock
-	// suffices to read it.
+	// closed and readOnly are written with both seqMu and mu held, so
+	// either lock suffices to read them.
 	closed     bool
+	readOnly   bool
 	noAutoCkpt bool
+
+	// walBase is the global LSN of the WAL's first physical byte, as
+	// persisted in the store header: checkpoints advance it so LSNs stay
+	// monotonic across truncations (replication depends on that).
+	walBase uint64
+	// walPin, when set, bounds checkpoint truncation: the log is only
+	// dropped below min(pin, end), so records a replication subscriber
+	// still needs survive the checkpoint. Called under mu; must be cheap
+	// and must not call back into the manager.
+	walPin func() (wal.LSN, bool)
 }
 
 // Options configures Open.
@@ -189,6 +200,14 @@ func Open(path string, opts Options) (*Manager, error) {
 		f.Close()
 		return nil, err
 	}
+	// Restore the global LSN position persisted by the last checkpoint.
+	// The header is written (and fsynced) *before* the log is truncated,
+	// so after a crash between the two the base can overshoot: the log
+	// then still holds pre-checkpoint records, which replay assigns
+	// fresh LSNs. That is safe — replay is idempotent and replication
+	// apply is too — it only means LSNs name durable history, not that
+	// two crashed-over LSNs never carried the same record.
+	m.log.SetBase(wal.LSN(m.walBase))
 	if err := m.recover(repaired); err != nil {
 		m.log.Close()
 		f.Close()
@@ -200,11 +219,12 @@ func Open(path string, opts Options) (*Manager, error) {
 // Name implements storage.Manager.
 func (m *Manager) Name() string { return "eos" }
 
-// writeHeader writes page 0: magic + nextOID.
+// writeHeader writes page 0: magic + nextOID + the WAL base LSN.
 func (m *Manager) writeHeader() error {
 	p := make(page, PageSize)
 	copy(p, headerMagic)
 	putUint64(p[8:16], uint64(m.nextOID))
+	putUint64(p[16:24], m.walBase)
 	if _, err := m.f.WriteAt(p, 0); err != nil {
 		return fmt.Errorf("eos: write header: %w", err)
 	}
@@ -223,6 +243,9 @@ func (m *Manager) readHeader() error {
 	if m.nextOID == 0 {
 		m.nextOID = 1
 	}
+	// Stores from before the replication era have zero here, which is
+	// exactly the right base for their logs.
+	m.walBase = getUint64(p[16:24])
 	return nil
 }
 
@@ -414,6 +437,11 @@ func (m *Manager) Read(oid storage.OID) ([]byte, error) {
 		return nil, fmt.Errorf("%w: oid %d", storage.ErrNotFound, oid)
 	}
 	m.stats.Reads++
+	return m.readLoc(l)
+}
+
+// readLoc reads one object's image given its location. Caller holds mu.
+func (m *Manager) readLoc(l loc) ([]byte, error) {
 	if !l.overflow {
 		p, err := m.getPage(l.pageNo)
 		if err != nil {
@@ -468,7 +496,35 @@ func (m *Manager) Exists(oid storage.OID) bool {
 // Log-before-apply is preserved: no page can carry an update whose
 // commit record is not durable, so a crash at any point leaves the batch
 // entirely visible or entirely invisible after recovery.
+//
+// A batch with no ops — a read-only transaction — returns immediately
+// without logging or fsyncing: there is nothing to make durable, and on
+// a read replica this is what lets read transactions commit while all
+// writes are rejected with storage.ErrReadOnly.
 func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
+	if len(ops) == 0 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.closed {
+			return errClosed
+		}
+		return nil
+	}
+	return m.applyCommit(txn, ops, false)
+}
+
+// ApplyReplicated applies one replicated transaction's effects through
+// the identical sequence → harden → apply path as ApplyCommit, bypassing
+// only the read-only gate: it is how the replication applier writes a
+// replica's store while every other writer is turned away. The replica
+// logs the batch in its own WAL (its LSNs are local; the position in the
+// primary's log is tracked by the replica's stream state), so a replica
+// crash recovers from local state alone.
+func (m *Manager) ApplyReplicated(txn uint64, ops []storage.Op) error {
+	return m.applyCommit(txn, ops, true)
+}
+
+func (m *Manager) applyCommit(txn uint64, ops []storage.Op, replicated bool) error {
 	recs := make([]wal.Record, 0, len(ops)+1)
 	var logBytes uint64
 	for _, op := range ops {
@@ -490,6 +546,10 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 	if m.closed {
 		m.seqMu.Unlock()
 		return errClosed
+	}
+	if m.readOnly && !replicated {
+		m.seqMu.Unlock()
+		return storage.ErrReadOnly
 	}
 	target, err := m.log.AppendCommit(recs)
 	if err != nil {
@@ -532,7 +592,7 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 	m.stats.LogBytes += logBytes
 	m.drainQueueLocked(e.seq)
 	applyErr := e.err
-	wantCkpt := applyErr == nil && !m.noAutoCkpt && m.log.Size() > autoCheckpointBytes
+	wantCkpt := applyErr == nil && !m.noAutoCkpt && m.reclaimableLocked() > autoCheckpointBytes
 	m.mu.Unlock()
 
 	if applyErr != nil {
@@ -910,6 +970,30 @@ func (m *Manager) drainAppliesLocked() {
 	}
 }
 
+// keepLSNLocked returns the lowest LSN a checkpoint must retain: the
+// end of the log, lowered to the replication pin when one is set (and
+// clamped so a lost subscriber can never drag it below the base).
+func (m *Manager) keepLSNLocked() wal.LSN {
+	keep := m.log.End()
+	if m.walPin != nil {
+		if p, ok := m.walPin(); ok && p < keep {
+			if base := m.log.Base(); p < base {
+				p = base
+			}
+			keep = p
+		}
+	}
+	return keep
+}
+
+// reclaimableLocked returns how many log bytes a checkpoint could drop
+// right now; the auto-checkpoint trigger uses it instead of the raw log
+// size so a stalled replica pinning the log cannot cause a checkpoint
+// per commit.
+func (m *Manager) reclaimableLocked() int64 {
+	return int64(m.keepLSNLocked() - m.log.Base())
+}
+
 func (m *Manager) checkpointLocked() error {
 	for c := m.lruHead; c != nil; c = c.next {
 		if c.dirty {
@@ -918,13 +1002,34 @@ func (m *Manager) checkpointLocked() error {
 			}
 		}
 	}
+	// Persist the post-truncation base *before* truncating: a crash
+	// between the two leaves the header base ahead of the file, which
+	// recovery tolerates (replay and replication apply are idempotent);
+	// the reverse order would assign already-shipped LSNs to new records.
+	end := m.log.End()
+	keep := m.keepLSNLocked()
+	reclaimed := int64(keep - m.log.Base())
+	m.walBase = uint64(keep)
 	if err := m.writeHeader(); err != nil {
 		return err
 	}
 	if err := m.f.Sync(); err != nil {
 		return fmt.Errorf("eos: checkpoint sync: %w", err)
 	}
-	return m.log.Truncate()
+	var err error
+	if keep == end {
+		err = m.log.Truncate()
+	} else {
+		err = m.log.TruncateBelow(keep)
+	}
+	if err != nil {
+		return err
+	}
+	m.stats.Checkpoints++
+	if reclaimed > 0 {
+		m.stats.WALTruncatedBytes += uint64(reclaimed)
+	}
+	return nil
 }
 
 // Stats implements storage.Manager. Pool counters come from under mu;
@@ -965,6 +1070,113 @@ func (m *Manager) Close() error {
 	}
 	return fErr
 }
+
+// --- replication surface ----------------------------------------------------
+
+// SnapObject is one object image in a store snapshot.
+type SnapObject struct {
+	OID  storage.OID
+	Data []byte
+}
+
+// Export produces a consistent snapshot of the whole store: every
+// committed object image plus the OID allocator, together with the
+// snapshot LSN — the end of the log at a moment when the pool equals a
+// replay of the entire log. New commits are fenced out (seqMu) and
+// in-flight ones drained, so the triple (lsn, nextOID, objects) is
+// exactly the state a replica that then streams records from lsn will
+// extend. Used for replica bootstrap when the subscriber's position has
+// been checkpoint-truncated away.
+func (m *Manager) Export() (lsn wal.LSN, nextOID storage.OID, objs []SnapObject, err error) {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, 0, nil, errClosed
+	}
+	m.drainAppliesLocked()
+	lsn = m.log.End()
+	objs = make([]SnapObject, 0, len(m.dir))
+	for oid, l := range m.dir {
+		data, err := m.readLoc(l)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("eos: export oid %d: %w", oid, err)
+		}
+		objs = append(objs, SnapObject{OID: oid, Data: data})
+	}
+	return lsn, m.nextOID, objs, nil
+}
+
+// ImportSnapshot replaces the store's entire contents with a snapshot
+// produced by a primary's Export: the pool and file are reset to just
+// the header page, every object is inserted, and a checkpoint makes the
+// result durable. The snapshot's LSN is the *primary's* position and is
+// tracked by the replication stream state, not by this store — the
+// replica's own WAL keeps its own (local) LSNs.
+func (m *Manager) ImportSnapshot(nextOID storage.OID, objs []SnapObject) error {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errClosed
+	}
+	m.drainAppliesLocked()
+	m.cache = make(map[uint32]*cached)
+	m.lruHead, m.lruTail, m.lruLen = nil, nil, 0
+	m.dir = make(map[storage.OID]loc)
+	m.freeSpace = make(map[uint32]int)
+	m.freePages = nil
+	if err := m.f.Truncate(PageSize); err != nil {
+		return fmt.Errorf("eos: import: reset file: %w", err)
+	}
+	m.pageCount = 1
+	m.nextOID = 1
+	for _, o := range objs {
+		if err := m.applyOp(storage.Op{Kind: storage.OpWrite, OID: o.OID, Data: o.Data}); err != nil {
+			return fmt.Errorf("eos: import oid %d: %w", o.OID, err)
+		}
+	}
+	if nextOID > m.nextOID {
+		m.nextOID = nextOID
+	}
+	return m.checkpointLocked()
+}
+
+// SetReadOnly flips the store's read-only gate. While set, ApplyCommit
+// rejects every batch that carries ops with storage.ErrReadOnly;
+// empty (read-only transaction) commits and ApplyReplicated still pass.
+func (m *Manager) SetReadOnly(ro bool) {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	m.readOnly = ro
+	m.mu.Unlock()
+}
+
+// ReadOnly reports whether the read-only gate is set.
+func (m *Manager) ReadOnly() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.readOnly
+}
+
+// SetWALPin installs (or, with nil, removes) the checkpoint truncation
+// bound. fn is called with the pool lock held and must be cheap and
+// reentrancy-free; returning ok=false means "no pin right now".
+func (m *Manager) SetWALPin(fn func() (wal.LSN, bool)) {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	m.walPin = fn
+	m.mu.Unlock()
+}
+
+// Log exposes the store's write-ahead log. The replication hub reads
+// durable records and registers its wakeup through it; nothing else
+// should touch the log directly.
+func (m *Manager) Log() *wal.Log { return m.log }
 
 // --- small helpers ----------------------------------------------------------
 

@@ -30,6 +30,11 @@ const InvalidOID OID = 0
 // ErrNotFound reports a read/write/free of an OID with no committed data.
 var ErrNotFound = errors.New("storage: object not found")
 
+// ErrReadOnly reports a write to a store serving as a read replica.
+// Only the replication applier may mutate such a store; everyone else
+// must be redirected to the primary.
+var ErrReadOnly = errors.New("storage: store is read-only (replica)")
+
 // OpKind tags one operation inside a commit batch.
 type OpKind uint8
 
@@ -76,6 +81,10 @@ type Stats struct {
 	BatchMax     uint64 // largest commits-per-fsync batch seen
 	CommitWaitNs uint64 // total time committers waited for durability
 	WALHeals     uint64 // sticky WAL sync errors cleared by self-healing (eos only)
+
+	// Checkpoint observability (eos only).
+	Checkpoints       uint64 // checkpoints taken (explicit + auto)
+	WALTruncatedBytes uint64 // log bytes reclaimed by checkpoint truncation
 }
 
 // Manager is the storage-manager seam shared by eos and dali.

@@ -1,0 +1,264 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// fill appends n single-record commits and returns the LSN of each
+// record in order.
+func fill(t *testing.T, l *Log, n int) []LSN {
+	t.Helper()
+	var lsns []LSN
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(&Record{Type: RecUpdate, Txn: uint64(i), OID: uint64(100 + i), Data: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return lsns
+}
+
+// TestScanFromConformance is the satellite-mandated contract check:
+// ScanFrom(Base()) must visit exactly the records Scan visits, with
+// identical LSNs — on a fresh log (base 0) and after SetBase.
+func TestScanFromConformance(t *testing.T) {
+	for _, base := range []LSN{0, 4096} {
+		l, _ := openTemp(t)
+		l.SetBase(base)
+		fill(t, l, 10)
+
+		type seen struct {
+			lsn LSN
+			rec Record
+		}
+		var viaScan, viaFrom []seen
+		if err := l.Scan(func(lsn LSN, r *Record) error {
+			viaScan = append(viaScan, seen{lsn, *r})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.ScanFrom(l.Base(), func(lsn LSN, r *Record) error {
+			viaFrom = append(viaFrom, seen{lsn, *r})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(viaScan) != 10 || len(viaFrom) != len(viaScan) {
+			t.Fatalf("base %d: Scan saw %d records, ScanFrom(Base()) saw %d", base, len(viaScan), len(viaFrom))
+		}
+		for i := range viaScan {
+			a, b := viaScan[i], viaFrom[i]
+			if a.lsn != b.lsn || a.rec.Type != b.rec.Type || a.rec.Txn != b.rec.Txn ||
+				a.rec.OID != b.rec.OID || !bytes.Equal(a.rec.Data, b.rec.Data) {
+				t.Fatalf("base %d record %d: Scan %+v vs ScanFrom %+v", base, i, a, b)
+			}
+		}
+		if viaScan[0].lsn != base {
+			t.Errorf("base %d: first record at LSN %d", base, viaScan[0].lsn)
+		}
+	}
+}
+
+func TestScanFromMidLog(t *testing.T) {
+	l, _ := openTemp(t)
+	lsns := fill(t, l, 8)
+	for start := range lsns {
+		var got []uint64
+		err := l.ScanFrom(lsns[start], func(lsn LSN, r *Record) error {
+			if lsn != lsns[len(got)+start] {
+				t.Fatalf("start %d: record %d at LSN %d, want %d", start, len(got), lsn, lsns[len(got)+start])
+			}
+			got = append(got, r.Txn)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(lsns)-start {
+			t.Fatalf("ScanFrom(%d) visited %d records, want %d", lsns[start], len(got), len(lsns)-start)
+		}
+	}
+	// Scanning from the exact end visits nothing.
+	if err := l.ScanFrom(l.End(), func(LSN, *Record) error {
+		t.Fatal("visited a record past the end")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Scanning past the end is an error, below base is ErrTruncatedLSN.
+	if err := l.ScanFrom(l.End()+1, func(LSN, *Record) error { return nil }); err == nil {
+		t.Error("ScanFrom past end succeeded")
+	}
+	l.SetBase(1000)
+	if err := l.ScanFrom(999, func(LSN, *Record) error { return nil }); !errors.Is(err, ErrTruncatedLSN) {
+		t.Errorf("ScanFrom below base = %v, want ErrTruncatedLSN", err)
+	}
+}
+
+func TestTruncateAdvancesBase(t *testing.T) {
+	l, _ := openTemp(t)
+	fill(t, l, 5)
+	end := l.End()
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != end || l.End() != end {
+		t.Fatalf("after truncate: base %d end %d, want both %d", l.Base(), l.End(), end)
+	}
+	lsn, err := l.Append(&Record{Type: RecUpdate, Txn: 9, OID: 9, Data: []byte("post")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != end {
+		t.Fatalf("first post-truncate record at LSN %d, want %d (LSNs must never restart)", lsn, end)
+	}
+	var got []LSN
+	if err := l.Scan(func(l LSN, _ *Record) error { got = append(got, l); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != end {
+		t.Fatalf("post-truncate scan: %v", got)
+	}
+}
+
+func TestTruncateBelowKeepsSuffix(t *testing.T) {
+	l, path := openTemp(t)
+	lsns := fill(t, l, 6)
+	keep := lsns[4]
+	if err := l.TruncateBelow(keep); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != keep {
+		t.Fatalf("base %d, want %d", l.Base(), keep)
+	}
+	var got []seenRec
+	if err := l.Scan(func(lsn LSN, r *Record) error {
+		got = append(got, seenRec{lsn, r.Txn})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].lsn != lsns[4] || got[0].txn != 4 || got[1].lsn != lsns[5] || got[1].txn != 5 {
+		t.Fatalf("retained suffix: %+v", got)
+	}
+	// The suffix keeps its durability: a reader below base must get
+	// ErrTruncatedLSN, a reader at base the surviving records.
+	if _, _, _, err := l.ReadDurable(lsns[0], 1<<20); !errors.Is(err, ErrTruncatedLSN) {
+		t.Errorf("ReadDurable below base = %v, want ErrTruncatedLSN", err)
+	}
+	recs, next, _, err := l.ReadDurable(keep, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || next != l.End() {
+		t.Fatalf("ReadDurable after TruncateBelow: %d recs, next %d (end %d)", len(recs), next, l.End())
+	}
+	// Appends continue from the old end; reopen + SetBase restores the
+	// same global positions.
+	preEnd := l.End()
+	if _, err := l.Append(&Record{Type: RecCommit, Txn: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	l2.SetBase(keep)
+	var last seenRec
+	if err := l2.ScanFrom(keep, func(lsn LSN, r *Record) error {
+		last = seenRec{lsn, r.Txn}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last.lsn != preEnd || last.txn != 42 {
+		t.Fatalf("after reopen: last record %+v, want txn 42 at LSN %d", last, preEnd)
+	}
+}
+
+type seenRec struct {
+	lsn LSN
+	txn uint64
+}
+
+func TestReadDurableBounds(t *testing.T) {
+	l, _ := openTemp(t)
+	// Buffered but not durable: nothing to read.
+	if _, err := l.Append(&Record{Type: RecUpdate, Txn: 1, OID: 1, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	recs, next, end, err := l.ReadDurable(0, 1<<20)
+	if err != nil || len(recs) != 0 || next != 0 || end != 0 {
+		t.Fatalf("before flush: recs %d next %d end %d err %v", len(recs), next, end, err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lsns := fill(t, l, 4)
+	recs, next, end, err = l.ReadDurable(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || next != l.End() || end != l.End() {
+		t.Fatalf("full read: recs %d next %d end %d (log end %d)", len(recs), next, end, l.End())
+	}
+	// maxBytes 1 still returns one whole record, and resuming from next
+	// walks the rest one at a time.
+	var walked []uint64
+	pos := LSN(0)
+	for pos < l.End() {
+		recs, n, _, err := l.ReadDurable(pos, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("maxBytes=1 at %d returned %d records", pos, len(recs))
+		}
+		walked = append(walked, recs[0].Txn)
+		pos = n
+	}
+	if len(walked) != 5 {
+		t.Fatalf("walked %d records, want 5", len(walked))
+	}
+	// Caught-up reader sees no records and no error.
+	recs, next, _, err = l.ReadDurable(l.End(), 1<<20)
+	if err != nil || len(recs) != 0 || next != l.End() {
+		t.Fatalf("caught up: recs %d next %d err %v", len(recs), next, err)
+	}
+	_ = lsns
+}
+
+func TestDurableObserver(t *testing.T) {
+	l, _ := openTemp(t)
+	var pokes atomic.Int64
+	l.SetDurableObserver(func() { pokes.Add(1) })
+	if err := l.AppendBatch([]Record{
+		{Type: RecUpdate, Txn: 1, OID: 1, Data: []byte("x")},
+		{Type: RecCommit, Txn: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pokes.Load() == 0 {
+		t.Fatal("observer not poked by a commit sync")
+	}
+	n := pokes.Load()
+	l.SetDurableObserver(nil)
+	if err := l.AppendBatch([]Record{{Type: RecCommit, Txn: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if pokes.Load() != n {
+		t.Fatal("observer poked after removal")
+	}
+}

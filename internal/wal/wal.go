@@ -38,6 +38,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,7 +70,13 @@ func WithFileWrapper(wrap func(File) File) Option {
 	return func(o *openOpts) { o.wrap = wrap }
 }
 
-// LSN is a log sequence number: the byte offset of a record.
+// LSN is a log sequence number: the global byte offset of a record. LSNs
+// are monotonic for the lifetime of a store, even across checkpoints —
+// truncating a prefix of the log advances the base (the LSN of the first
+// byte physically in the file) rather than resetting positions to zero.
+// Replication relies on this: a replica's stream position names one byte
+// of primary history forever, so one LSN's worth of lag is exactly one
+// byte of unshipped log.
 type LSN uint64
 
 // RecType tags a log record.
@@ -123,6 +130,11 @@ const headerSize = 8 // length + crc
 // rather than silently truncating committed records.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrTruncatedLSN reports a read below the log's base: the requested
+// position was discarded by a checkpoint truncation. A log-shipping
+// consumer that hits this must fall back to a snapshot bootstrap.
+var ErrTruncatedLSN = errors.New("wal: lsn below log base (truncated by checkpoint)")
+
 var errClosed = errors.New("wal: log closed")
 
 // SyncStats reports group-commit activity; the storage manager surfaces
@@ -147,14 +159,20 @@ type SyncStats struct {
 
 // Log is an append-only, CRC-checked record log with group commit.
 type Log struct {
-	// mu serializes appends: the buffered writer, the logical size, and
-	// the count of commits not yet covered by a sync.
+	// mu serializes appends: the buffered writer, the logical size, the
+	// base LSN, and the count of commits not yet covered by a sync.
 	mu       sync.Mutex
 	f        File
 	w        *bufio.Writer
 	size     int64
+	base     int64  // global LSN of file offset 0 (advanced by truncation)
 	unsynced uint64 // commits appended since the last sync snapshot
 	path     string
+
+	// durObs, when set, is poked (outside all log locks) every time the
+	// durable boundary advances — the primary's replication hub uses it
+	// to wake record shippers without polling.
+	durObs atomic.Pointer[func()]
 
 	// gc is the group-commit state: a condvar protocol where at most one
 	// committer (the leader) runs flush+fsync while followers wait. It is
@@ -267,7 +285,7 @@ func (l *Log) appendLocked(rec *Record) (LSN, error) {
 		return 0, errClosed
 	}
 	payload := encode(rec)
-	lsn := LSN(l.size)
+	lsn := LSN(l.base + l.size)
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -369,6 +387,13 @@ func (l *Log) waitDurable(target int64) error {
 			}
 		}
 		l.gcCond.Broadcast()
+		if err == nil {
+			// Tell the durable observer outside both locks: it may call
+			// back into DurableLSN/ReadDurable.
+			l.gc.Unlock()
+			l.pokeDurableObserver()
+			l.gc.Lock()
+		}
 		// Loop: the top of the loop returns nil or the sticky error.
 	}
 }
@@ -428,39 +453,64 @@ func (l *Log) SyncStats() SyncStats {
 }
 
 // Scan replays every record in LSN order. Buffered records are flushed
-// first so the scan sees everything appended so far.
+// first so the scan sees everything appended so far. Each record is
+// passed with its global starting LSN (base-relative offsets are never
+// exposed), so Scan ≡ ScanFrom(Base()).
 func (l *Log) Scan(fn func(LSN, *Record) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.scanFromLocked(LSN(l.base), fn)
+}
+
+// ScanFrom replays every record at or after the global LSN from, in LSN
+// order. from must be a record boundary (the LSN of some record, or the
+// end of the log); a position inside a record surfaces as ErrCorrupt.
+// Requests below the log's base — positions discarded by a checkpoint —
+// fail with ErrTruncatedLSN, which a log-shipping consumer must answer
+// with a snapshot bootstrap.
+func (l *Log) ScanFrom(from LSN, fn func(LSN, *Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.scanFromLocked(from, fn)
+}
+
+func (l *Log) scanFromLocked(from LSN, fn func(LSN, *Record) error) error {
+	if int64(from) < l.base {
+		return fmt.Errorf("%w: requested %d, base %d", ErrTruncatedLSN, from, l.base)
+	}
+	start := int64(from) - l.base
+	if start > l.size {
+		return fmt.Errorf("wal: scan from %d beyond end %d", from, l.base+l.size)
+	}
 	if l.w != nil {
 		if err := l.w.Flush(); err != nil {
 			return fmt.Errorf("wal: flush before scan: %w", err)
 		}
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+	if _, err := l.f.Seek(start, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: seek: %w", err)
 	}
 	r := bufio.NewReaderSize(l.f, 1<<16)
-	var off int64
+	off := start
 	hdr := make([]byte, headerSize)
 	for off < l.size {
 		if _, err := io.ReadFull(r, hdr); err != nil {
-			return fmt.Errorf("wal: scan header at %d: %w", off, err)
+			return fmt.Errorf("wal: scan header at %d: %w", l.base+off, err)
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return fmt.Errorf("wal: scan payload at %d: %w", off, err)
+			return fmt.Errorf("wal: scan payload at %d: %w", l.base+off, err)
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
-			return fmt.Errorf("%w at LSN %d", ErrCorrupt, off)
+			return fmt.Errorf("%w at LSN %d", ErrCorrupt, l.base+off)
 		}
 		rec, err := decode(payload)
 		if err != nil {
 			return err
 		}
-		if err := fn(LSN(off), rec); err != nil {
+		if err := fn(LSN(l.base+off), rec); err != nil {
 			return err
 		}
 		off += int64(headerSize) + int64(length)
@@ -473,8 +523,9 @@ func (l *Log) Scan(fn func(LSN, *Record) error) error {
 }
 
 // Truncate discards the whole log (after a checkpoint has made the store
-// durable) and starts over. The caller must ensure no commit is in
-// flight (the storage manager drains committers first).
+// durable) and starts over, advancing the base by the discarded size so
+// LSNs stay monotonic. The caller must ensure no commit is in flight
+// (the storage manager drains committers first).
 func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -493,6 +544,7 @@ func (l *Log) Truncate() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.base += l.size
 	l.size = 0
 	l.unsynced = 0
 	l.w.Reset(l.f)
@@ -501,6 +553,189 @@ func (l *Log) Truncate() error {
 	l.gcCond.Broadcast()
 	l.gc.Unlock()
 	return nil
+}
+
+// TruncateBelow discards every record below the global LSN keep (which
+// must be a record boundary at or below the durable limit) and keeps the
+// suffix, so a checkpoint can reclaim log space without cutting off
+// replicas that still need recent records. The retained suffix is
+// rewritten to offset 0 and the base advances to keep. Like Truncate,
+// the caller must ensure no commit is in flight, and must have
+// checkpointed the store up to the log's end first: the rewrite is not
+// atomic, and a crash mid-rewrite may lose retained records — safe for
+// recovery (the checkpoint covers them) but forcing late replicas to
+// snapshot-bootstrap.
+func (l *Log) TruncateBelow(keep LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return errClosed
+	}
+	if int64(keep) <= l.base {
+		return nil // nothing below keep remains
+	}
+	if int64(keep) > l.base+l.size {
+		return fmt.Errorf("wal: truncate below %d beyond end %d", keep, l.base+l.size)
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	drop := int64(keep) - l.base
+	suffix := make([]byte, l.size-drop)
+	if _, err := l.f.Seek(drop, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: truncate below: seek: %w", err)
+	}
+	if _, err := io.ReadFull(l.f, suffix); err != nil {
+		return fmt.Errorf("wal: truncate below: read suffix: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate below: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(suffix); err != nil {
+		return fmt.Errorf("wal: truncate below: rewrite suffix: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.base = int64(keep)
+	l.size = int64(len(suffix))
+	l.unsynced = 0
+	l.w.Reset(l.f)
+	l.gc.Lock()
+	// The whole retained suffix was just written and fsynced.
+	l.durable = l.size
+	l.gcCond.Broadcast()
+	l.gc.Unlock()
+	return nil
+}
+
+// SetBase declares the global LSN of the log's first physical byte —
+// the walBase a checkpoint persisted in the store header. The storage
+// manager calls it once, right after Open and before any appends or
+// scans; a fresh standalone log keeps base 0, where LSN == file offset.
+func (l *Log) SetBase(base LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base = int64(base)
+}
+
+// Base returns the global LSN of the oldest byte still in the log.
+// Positions below Base are gone (checkpoint-truncated); a subscriber
+// there needs a snapshot.
+func (l *Log) Base() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(l.base)
+}
+
+// End returns the global LSN one past the last appended byte — the LSN
+// the next record will receive. Buffered (not yet durable) records are
+// included.
+func (l *Log) End() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(l.base + l.size)
+}
+
+// DurableLSN returns the global LSN one past the last byte proven on
+// stable storage. Replication ships only up to here: a record below
+// DurableLSN can never be lost to a crash, so a replica can apply it
+// without waiting.
+func (l *Log) DurableLSN() LSN {
+	l.mu.Lock()
+	base := l.base
+	l.mu.Unlock()
+	l.gc.Lock()
+	defer l.gc.Unlock()
+	return LSN(base + l.durable)
+}
+
+// SetDurableObserver installs fn, called (outside all log locks) after
+// every successful sync that may have advanced the durable boundary,
+// and once more on Close. At most one observer is supported; nil
+// removes it. The replication hub uses this to wake record shippers
+// instead of polling DurableLSN.
+func (l *Log) SetDurableObserver(fn func()) {
+	if fn == nil {
+		l.durObs.Store(nil)
+		return
+	}
+	l.durObs.Store(&fn)
+}
+
+func (l *Log) pokeDurableObserver() {
+	if fn := l.durObs.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// ReadDurable decodes durable records starting at the global LSN from
+// (a record boundary), stopping after roughly maxBytes of log have been
+// consumed (always at least one record when one is durable). It returns
+// the records, the LSN just past the last one returned (the position to
+// resume from), and the durable end of the log at the time of the call
+// (next − end is the caller's lag in bytes).
+//
+// The read uses a fresh private handle on the log's path rather than
+// the Log's own file, so shipping never moves the append position and
+// never blocks commits; it therefore bypasses any fault-injection
+// wrapper installed via WithFileWrapper, which is fine — torture
+// harnesses cut the replication link at the frame level instead. A
+// checkpoint truncation racing with the read can surface as ErrCorrupt
+// or a short read; callers retry from the same position and fall back
+// to a snapshot on ErrTruncatedLSN.
+func (l *Log) ReadDurable(from LSN, maxBytes int) (recs []Record, next LSN, end LSN, err error) {
+	l.mu.Lock()
+	base := l.base
+	l.mu.Unlock()
+	l.gc.Lock()
+	durable := l.durable
+	l.gc.Unlock()
+
+	end = LSN(base + durable)
+	if int64(from) < base {
+		return nil, from, end, fmt.Errorf("%w: requested %d, base %d", ErrTruncatedLSN, from, base)
+	}
+	start := int64(from) - base
+	if start >= durable {
+		return nil, from, end, nil // caught up (or ahead of a concurrent truncate: harmless)
+	}
+
+	h, err := os.Open(l.path)
+	if err != nil {
+		return nil, from, end, fmt.Errorf("wal: read durable: %w", err)
+	}
+	defer h.Close()
+	if _, err := h.Seek(start, io.SeekStart); err != nil {
+		return nil, from, end, fmt.Errorf("wal: read durable: seek: %w", err)
+	}
+	r := bufio.NewReaderSize(h, 1<<16)
+	off := start
+	var hdr [headerSize]byte
+	for off < durable && int(off-start) < maxBytes {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, from, end, fmt.Errorf("wal: read durable header at %d: %w", base+off, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, from, end, fmt.Errorf("wal: read durable payload at %d: %w", base+off, err)
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, from, end, fmt.Errorf("%w at LSN %d", ErrCorrupt, base+off)
+		}
+		rec, err := decode(payload)
+		if err != nil {
+			return nil, from, end, err
+		}
+		recs = append(recs, *rec)
+		off += int64(headerSize) + int64(length)
+	}
+	return recs, LSN(base + off), end, nil
 }
 
 // Heal attempts to clear a sticky sync error. Records past the durable
@@ -593,6 +828,7 @@ func (l *Log) Close() error {
 	}
 	l.gcCond.Broadcast()
 	l.gc.Unlock()
+	l.pokeDurableObserver()
 
 	if flushErr != nil {
 		return fmt.Errorf("wal: flush: %w", flushErr)
@@ -602,6 +838,11 @@ func (l *Log) Close() error {
 	}
 	return closeErr
 }
+
+// EncodedSize is the on-disk footprint of one record: header plus
+// payload. The replication hub uses it to compute the LSN just past
+// each shipped record, so replicas can resume at record granularity.
+func EncodedSize(rec *Record) int { return headerSize + 1 + 8 + 8 + 4 + len(rec.Data) }
 
 func encode(rec *Record) []byte {
 	buf := make([]byte, 1+8+8+4+len(rec.Data))

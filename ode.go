@@ -134,6 +134,9 @@ var (
 	ErrAborted = txn.ErrAborted
 	// ErrNotFound reports access to a missing object.
 	ErrNotFound = storage.ErrNotFound
+	// ErrReadOnly reports a mutation attempted on a read replica; retry
+	// it against the primary.
+	ErrReadOnly = core.ErrReadOnly
 	// ErrUnknownClass, ErrUnknownMethod, ErrUnknownTrigger and
 	// ErrUnknownEvent report schema misuse.
 	ErrUnknownClass   = core.ErrUnknownClass
