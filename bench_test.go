@@ -20,6 +20,7 @@ import (
 	"ode/internal/event"
 	"ode/internal/eventexpr"
 	"ode/internal/fsm"
+	"ode/internal/obs"
 	"ode/internal/repl"
 	"ode/internal/server"
 	"ode/internal/storage"
@@ -752,6 +753,40 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			db, ref := benchDB(b, "DenyCredit")
 			db.Tracer().SetRate(cfg.rate)
+			tx := db.Begin()
+			defer tx.Commit()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Invoke(tx, ref, "Buy", 1.0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E20: causal provenance overhead -------------------------------------------
+
+// BenchmarkE20Provenance measures the posting hot path with the
+// provenance surface (cause-ID assignment + flight recorder) enabled —
+// the shipping default — against both switched off. The acceptance bar
+// for keeping provenance always on: Enabled within 2% of Disabled; the
+// per-posting cost is one atomic load plus one atomic add.
+// cmd/ode-bench's E20 measures the same A/B on the concurrent eos
+// commit workload.
+func BenchmarkE20Provenance(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		on   bool
+	}{
+		{"Enabled", true},
+		{"Disabled", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db, ref := benchDB(b, "DenyCredit")
+			db.SetProvenance(cfg.on)
+			obs.Flight().SetEnabled(cfg.on)
+			b.Cleanup(func() { obs.Flight().SetEnabled(true) })
 			tx := db.Begin()
 			defer tx.Commit()
 			b.ResetTimer()

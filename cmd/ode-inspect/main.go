@@ -18,11 +18,19 @@
 //
 //	ode-inspect -repl 127.0.0.1:7048
 //
+// With -flight it fetches the server's always-on flight recorder: the
+// ring of recent structured incidents (commits, WAL heals, detached
+// retries/drops, action panics, replica redials, promotions), each with
+// its causal-provenance IDs (the server's "flight" op):
+//
+//	ode-inspect -flight 127.0.0.1:7047
+//
 // Usage:
 //
 //	ode-inspect [-v] file.eos
 //	ode-inspect -traces addr [-rate n]
 //	ode-inspect -repl addr
+//	ode-inspect -flight addr
 package main
 
 import (
@@ -53,21 +61,32 @@ func main() {
 	traces := flag.String("traces", "", "fetch firing traces as JSON from a running ode-server at this address")
 	rate := flag.Int64("rate", 0, "with -traces: >0 sets 1-in-n trace sampling on the server, <0 disables it")
 	replAddr := flag.String("repl", "", "fetch replication status as JSON from a running replica ode-server at this address")
+	flightAddr := flag.String("flight", "", "fetch the flight-recorder incident ring as JSON from a running ode-server at this address")
 	flag.Parse()
 	if *traces != "" {
-		if err := fetchTraces(*traces, *rate); err != nil {
+		req := map[string]any{"op": "trace"}
+		if *rate != 0 {
+			req["rate"] = *rate
+		}
+		if err := fetchJSON(*traces, req); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if *replAddr != "" {
-		if err := fetchReplStatus(*replAddr); err != nil {
+		if err := fetchJSON(*replAddr, map[string]any{"op": "repl.status"}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *flightAddr != "" {
+		if err := fetchJSON(*flightAddr, map[string]any{"op": "flight"}); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]  |  ode-inspect -repl addr")
+		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]  |  ode-inspect -repl addr  |  ode-inspect -flight addr")
 	}
 	store, err := eos.Open(flag.Arg(0), eos.Options{})
 	if err != nil {
@@ -193,54 +212,15 @@ func main() {
 	}
 }
 
-// fetchTraces connects to a running ode-server, optionally adjusts the
-// trace sampling rate, and prints the firing-trace ring as JSON.
-func fetchTraces(addr string, rate int64) error {
+// fetchJSON sends one request to a running ode-server and prints the
+// response's result as indented JSON (the -traces/-repl/-flight modes).
+func fetchJSON(addr string, req map[string]any) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	req := map[string]any{"op": "trace"}
-	if rate != 0 {
-		req["rate"] = rate
-	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
-		return err
-	}
-	line, err := bufio.NewReader(conn).ReadBytes('\n')
-	if err != nil {
-		return err
-	}
-	var resp struct {
-		OK     bool            `json:"ok"`
-		Error  string          `json:"error"`
-		Result json.RawMessage `json:"result"`
-	}
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return err
-	}
-	if !resp.OK {
-		return fmt.Errorf("server: %s", resp.Error)
-	}
-	var pretty bytes.Buffer
-	if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
-		return err
-	}
-	pretty.WriteByte('\n')
-	_, err = pretty.WriteTo(os.Stdout)
-	return err
-}
-
-// fetchReplStatus asks a running replica for its stream state (the
-// repl.status op) and prints it as indented JSON.
-func fetchReplStatus(addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	if err := json.NewEncoder(conn).Encode(map[string]any{"op": "repl.status"}); err != nil {
 		return err
 	}
 	line, err := bufio.NewReader(conn).ReadBytes('\n')

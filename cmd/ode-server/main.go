@@ -23,6 +23,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -106,6 +107,7 @@ func main() {
 	traceRate := flag.Uint64("trace-rate", 0, "record one of every n postings as a firing trace (0 disables)")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary ode-server at this address (disk store only)")
 	syncTimeout := flag.Duration("sync-timeout", 30*time.Second, "replica mode: how long to wait for the initial catch-up")
+	readyLag := flag.Uint64("ready-lag", 1<<20, "replica mode: /readyz reports 503 while replication lag exceeds this many bytes (0 disables the check)")
 	flag.Parse()
 
 	opts := server.Options{
@@ -116,6 +118,7 @@ func main() {
 
 	var db *ode.Database
 	var err error
+	health := obs.NewHealth()
 	switch {
 	case *replicaOf != "":
 		// Replica: sync the store from the primary BEFORE building the
@@ -154,9 +157,20 @@ func main() {
 			},
 			"repl.promote": func(*server.Request) *server.Response {
 				rep.Promote()
+				// A primary is ready by definition; drop the lag gate.
+				health.SetReadiness("repl_lag", nil)
 				log.Println("promoted: now accepting writes")
 				return &server.Response{OK: true, Result: rep.Status()}
 			},
+		}
+		if lagMax := *readyLag; lagMax > 0 {
+			health.SetReadiness("repl_lag", func() error {
+				st := rep.Status()
+				if !st.Promoted && st.LagBytes > lagMax {
+					return fmt.Errorf("replication lag %d bytes exceeds %d", st.LagBytes, lagMax)
+				}
+				return nil
+			})
 		}
 		log.Printf("replica of %s: caught up, serving reads (lag %d bytes)", *replicaOf, rep.Status().LagBytes)
 	case *mem:
@@ -186,11 +200,11 @@ func main() {
 
 	db.Tracer().SetRate(*traceRate)
 	if *obsAddr != "" {
-		bound, err := obs.Serve(*obsAddr, db.Observability(), db.Tracer())
+		bound, err := obs.Serve(*obsAddr, db.Observability(), db.Tracer(), health)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("observability endpoint on http://%s (metrics, traces, expvar, pprof)", bound)
+		log.Printf("observability endpoint on http://%s (metrics, traces, flight, healthz, readyz, expvar, pprof)", bound)
 	}
 
 	srv := server.NewWithOptions(dbCore(db), opts)

@@ -190,6 +190,25 @@ type Database struct {
 	// replication applier writes beneath this layer, directly through
 	// the store. Promotion flips it off.
 	readOnly atomic.Bool
+
+	// Causal provenance (see obs.Cause): every posted basic event gets a
+	// cause ID from causes, parent-linked when posted from inside a
+	// trigger action so cascades form a chain. provenance gates
+	// assignment (on by default; E20 measures the cost of leaving it
+	// on). cc, when the store supports it, carries each transaction's
+	// originating cause into its WAL commit record so replicas — and
+	// post-failover composite completions — are attributed to the
+	// primary-side event.
+	causes     *obs.Causes
+	provenance atomic.Bool
+	cc         commitCauser
+}
+
+// commitCauser is the optional storage hook for commit-record cause
+// notes; storage/eos implements it.
+type commitCauser interface {
+	SetCommitCause(txn uint64, self, parent obs.Cause)
+	ClearCommitCause(txn uint64)
 }
 
 // NewDatabase opens a database over an already-opened storage manager.
@@ -202,7 +221,8 @@ func NewDatabase(store storage.Manager) (*Database, error) {
 		return nil, err
 	}
 	obsReg, met, tracer := wireObservability(store, tm, lm)
-	return &Database{
+	cc, _ := store.(commitCauser)
+	db := &Database{
 		store:           store,
 		lm:              lm,
 		tm:              tm,
@@ -216,7 +236,38 @@ func NewDatabase(store storage.Manager) (*Database, error) {
 		obsReg:          obsReg,
 		met:             met,
 		tracer:          tracer,
-	}, nil
+		causes:          obs.NewCauses(),
+		cc:              cc,
+	}
+	db.provenance.Store(true)
+	return db, nil
+}
+
+// SetProvenance enables or disables cause-ID assignment (on by
+// default; the E20 A/B harness turns it off for the baseline leg).
+func (db *Database) SetProvenance(on bool) { db.provenance.Store(on) }
+
+// Provenance reports whether cause IDs are being assigned.
+func (db *Database) Provenance() bool { return db.provenance.Load() }
+
+// Causes returns the database's cause-ID source (tests pin the node ID
+// through it to make cross-node attribution deterministic).
+func (db *Database) Causes() *obs.Causes { return db.causes }
+
+// noteCommitCause attaches (self, parent) to tx's eventual WAL commit
+// record, when the store can carry it.
+func (db *Database) noteCommitCause(tx *txn.Txn, self, parent obs.Cause) {
+	if db.cc != nil {
+		db.cc.SetCommitCause(uint64(tx.ID()), self, parent)
+	}
+}
+
+// clearCommitCause drops a pending note (the transaction aborted, so
+// its commit record will never be written).
+func (db *Database) clearCommitCause(tx *txn.Txn) {
+	if db.cc != nil {
+		db.cc.ClearCommitCause(uint64(tx.ID()))
+	}
 }
 
 // Detached retry defaults: six attempts with 1ms→cap backoff resolve

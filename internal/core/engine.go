@@ -36,6 +36,13 @@ type triggerStateRec struct {
 	StateNum   int32  `json:"state_num"`   // statenum
 	Name       string `json:"trigger_name"`
 	Args       []any  `json:"args,omitempty"`
+	// Cause is the cause ID (obs.Cause spelling) of the posting that
+	// first moved this FSM off its start state — the origin of the
+	// composite pattern currently half-matched. Because the TriggerState
+	// is persistent and replicated, a pattern begun on the primary and
+	// completed after failover still knows which primary-side event
+	// started it. Cleared on the perpetual-trigger reset.
+	Cause string `json:"cause,omitempty"`
 }
 
 // Activation is the trigger-activation context handed to masks and
@@ -163,6 +170,15 @@ type firedRec struct {
 
 	detected time.Time  // when the FSM accepted, for post→fire latency
 	tr       *obs.Trace // pinned firing trace, nil unless the posting was sampled
+
+	// cause/causeParent identify the posting that completed the pattern;
+	// a detached system transaction runs under them, so everything its
+	// action posts (and its WAL commit record) is chained back here.
+	// patCause is the pattern origin (triggerStateRec.Cause) carried
+	// onto the fire trace step.
+	cause       obs.Cause
+	causeParent obs.Cause
+	patCause    string
 }
 
 // txnState is the per-transaction trigger-engine state: the instance
@@ -184,6 +200,15 @@ type txnState struct {
 	// extension; see local.go). They are deallocated with this state.
 	localTrigs []*localActivation
 	localSeq   int
+
+	// ctxCause is the provenance parent for postings made while this
+	// transaction runs a trigger action (zero outside actions): an event
+	// posted from inside an action is a child of the firing's cause, so
+	// cascades form a chain. originCause/originParent record the
+	// transaction's first posting, which annotates its WAL commit record.
+	ctxCause     obs.Cause
+	originCause  obs.Cause
+	originParent obs.Cause
 }
 
 // state returns (creating on first use) the engine state for tx and wires
@@ -210,6 +235,9 @@ func (db *Database) state(tx *txn.Txn) *txnState {
 	})
 	tx.OnAfterAbort(func() {
 		db.dropState(tx)
+		// The commit record this transaction's cause note was destined
+		// for will never be written.
+		db.clearCommitCause(tx)
 		// §5.5: only the !dependent list survives an abort.
 		db.runDetached(st.indepList, db.met.firedIndependent)
 	})
@@ -615,11 +643,26 @@ func (st *txnState) maskEval(ref Ref, bt *BoundTrigger, act *Activation) func(st
 func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 	db := st.db
 	db.met.eventsPosted.Inc()
+	// Causal provenance: every posting gets a cause ID, parented on the
+	// firing whose action posted it (zero parent for application
+	// postings). The transaction's first posting becomes its origin,
+	// annotating the WAL commit record so replicas can attribute their
+	// apply. One atomic add when on; nothing when off.
+	var cause, parent obs.Cause
+	if db.provenance.Load() {
+		parent = st.ctxCause
+		cause = db.causes.Next()
+		if st.originCause.IsZero() {
+			st.originCause, st.originParent = cause, parent
+			db.noteCommitCause(st.tx, cause, parent)
+		}
+	}
 	// The sampling gate is one atomic load when tracing is off; the trace
 	// machinery below only runs for selected postings.
 	var tr *obs.Trace
 	if db.tracer.Sampled() {
 		tr = db.tracer.Start(uint32(ev), db.eventString(ev), uint64(ref.oid))
+		tr.SetCause(cause, parent)
 		defer db.tracer.Publish(tr)
 	}
 	// Local rules see every posting, independent of the header fast path
@@ -692,7 +735,13 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 		}
 		if accepted {
 			rec.StateNum = next
-			f := firedRec{bt: bt, rec: rec, tsOID: tsOID, ref: ref, evArgs: evArgs, detected: time.Now()}
+			f := firedRec{bt: bt, rec: rec, tsOID: tsOID, ref: ref, evArgs: evArgs, detected: time.Now(),
+				cause: cause, causeParent: parent, patCause: rec.Cause}
+			if f.patCause == "" {
+				// Single-posting pattern (or pre-provenance state): the
+				// completing posting is also the origin.
+				f.patCause = cause.String()
+			}
 			if tr != nil {
 				tr.Pin() // released when the firing's dispatch path finishes
 				f.tr = tr
@@ -702,6 +751,11 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 		}
 		if next != rec.StateNum {
 			rec.StateNum = next
+			if rec.Cause == "" && !cause.IsZero() {
+				// First move off the start state: this posting is the
+				// origin of the pattern now being matched.
+				rec.Cause = cause.String()
+			}
 			if err := st.saveTriggerState(tsOID, &rec); err != nil {
 				return err
 			}
@@ -717,6 +771,7 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 		f := &fired[i]
 		if f.bt.Def.Perpetual {
 			f.rec.StateNum = f.bt.Machine.Start
+			f.rec.Cause = "" // the next pattern has its own origin
 			if err := st.saveTriggerState(f.tsOID, &f.rec); err != nil {
 				return err
 			}
@@ -728,7 +783,7 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 				return err
 			}
 		}
-		f.tr.Add(obs.Step{Kind: obs.StepFire, Trigger: f.rec.Name, Coupling: f.bt.Def.Coupling.String()})
+		f.tr.Add(obs.Step{Kind: obs.StepFire, Trigger: f.rec.Name, Coupling: f.bt.Def.Coupling.String(), Cause: f.patCause})
 		switch f.bt.Def.Coupling {
 		case Immediate:
 			db.met.firedImmediate.Inc()
@@ -778,8 +833,12 @@ func (st *txnState) runAction(f firedRec) error {
 	ctx := &Ctx{db: st.db, tx: st.tx, ref: f.ref}
 	act := &Activation{Trigger: f.rec.Name, Args: f.rec.Args, Ref: f.ref, ID: TriggerID{f.tsOID}, EventArgs: f.evArgs}
 	f.tr.Add(obs.Step{Kind: obs.StepActionStart, Trigger: f.rec.Name})
+	// Postings made by the action are children of this firing's cause.
+	prevCause := st.ctxCause
+	st.ctxCause = f.cause
 	actStart := time.Now()
 	err = st.callAction(f, ctx, inst.val, act)
+	st.ctxCause = prevCause
 	st.db.met.actionNs.Observe(time.Since(actStart).Nanoseconds())
 	endStep := obs.Step{Kind: obs.StepActionEnd, Trigger: f.rec.Name}
 	if err != nil {
@@ -810,6 +869,8 @@ func (st *txnState) callAction(f firedRec, ctx *Ctx, self any, act *Activation) 
 	defer func() {
 		if r := recover(); r != nil {
 			st.db.met.actionPanics.Inc()
+			obs.Flight().Record(obs.IncActionPanic, f.cause, f.causeParent, 0, f.rec.Name)
+			obs.DumpFlight("action panic in trigger " + f.rec.Name)
 			err = fmt.Errorf("action panicked: %v", r)
 		}
 	}()
@@ -839,6 +900,14 @@ func (db *Database) runDetachedOne(f firedRec, counter *obs.Counter) {
 	for attempt := 0; ; attempt++ {
 		sys := db.tm.BeginSystem()
 		st := db.state(sys)
+		if !f.cause.IsZero() {
+			// The detached system transaction runs under the firing's
+			// cause: its postings chain here, and its commit record is
+			// attributed to the originating event.
+			st.ctxCause = f.cause
+			st.originCause, st.originParent = f.cause, f.causeParent
+			db.noteCommitCause(sys, f.cause, f.causeParent)
+		}
 		err := st.runAction(f)
 		doomed := sys.Doomed()
 		if err == nil && !doomed {
@@ -861,6 +930,7 @@ func (db *Database) runDetachedOne(f firedRec, counter *obs.Counter) {
 		}
 		if attempt < budget && retryableDetached(err) {
 			db.met.detachedRetries.Inc()
+			obs.Flight().Record(obs.IncDetachedRetry, f.cause, f.causeParent, uint64(attempt+1), f.rec.Name)
 			db.met.detachedRetryDelayNs.Observe(backoff.Nanoseconds())
 			retryStep := obs.Step{Kind: obs.StepRetry, Trigger: f.rec.Name, WaitNs: backoff.Nanoseconds()}
 			if err != nil {
@@ -878,6 +948,7 @@ func (db *Database) runDetachedOne(f firedRec, counter *obs.Counter) {
 		counter.Inc()
 		db.met.actionErrors.Inc()
 		db.met.detachedDropped.Inc()
+		obs.Flight().Record(obs.IncDetachedDrop, f.cause, f.causeParent, uint64(attempt), f.rec.Name)
 		return
 	}
 }

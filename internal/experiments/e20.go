@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ode/internal/core"
+	"ode/internal/obs"
+	"ode/internal/storage/eos"
+)
+
+// E20 measures the cost of the always-on provenance surface: cause-ID
+// assignment on every posting (one atomic add), the commit-record cause
+// note (~12 bytes of WAL per originating transaction — varint-encoded
+// precisely because a fixed-width note measurably inflated small
+// transactions' log volume here), and the flight recorder's per-commit
+// incident (one atomic load plus a slot write).
+// Like E18 for the tracer, the claim that justifies shipping the
+// machinery *enabled* is that it is nearly free: ≤2% on the contended
+// E16-style commit workload, where every transaction posts an event,
+// advances a trigger FSM, and pays an fsync-amortized durability wait —
+// the wait the machinery's microseconds of CPU overlap with.
+func (r *Runner) E20() Result {
+	res := Result{ID: "E20", Title: "causal provenance + flight recorder overhead"}
+	r.header("E20", res.Title, "§5.4.5, §5.6",
+		"cause-ID assignment, commit cause notes, and flight recording cost ≤2% commit throughput on the concurrent eos workload")
+
+	dir := r.Cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ode-e20-*")
+		if err != nil {
+			res.Summary = err.Error()
+			return res
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// Rounds much under half a second are dominated by fsync stragglers,
+	// so quick mode keeps a high floor instead of the usual /20 scaling.
+	const committers = 8
+	per := 1500
+	if r.Cfg.Quick {
+		per = 800
+	}
+
+	// One disk database with AutoRaiseLimit armed on one card per
+	// committer (so each Buy advances a persistent FSM — the trigger
+	// path the provenance annotates). Auto-checkpointing is off: a
+	// checkpoint stalls every commit in whatever round it lands in,
+	// which is scheduling noise, not provenance cost.
+	store, err := eos.Open(filepath.Join(dir, "e20.eos"), eos.Options{
+		NoAutoCheckpoint: true,
+	})
+	if err != nil {
+		res.Summary = err.Error()
+		return res
+	}
+	db, err := core.NewDatabase(store)
+	if err != nil {
+		store.Close()
+		res.Summary = err.Error()
+		return res
+	}
+	defer db.Close()
+	if err := db.Register(CredCardClass()); err != nil {
+		res.Summary = err.Error()
+		return res
+	}
+	refs := make([]core.Ref, committers)
+	for i := range refs {
+		tx := db.Begin()
+		ref, err := db.Create(tx, "CredCard", &CredCard{Holder: "bench", CredLim: 1e12, GoodHist: false})
+		if err != nil {
+			tx.Abort()
+			res.Summary = err.Error()
+			return res
+		}
+		if _, err := db.Activate(tx, ref, "AutoRaiseLimit", 100.0); err != nil {
+			tx.Abort()
+			res.Summary = err.Error()
+			return res
+		}
+		if err := tx.Commit(); err != nil {
+			res.Summary = err.Error()
+			return res
+		}
+		refs[i] = ref
+	}
+
+	drive := func(iters int) (time.Duration, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, committers)
+		gate := make(chan struct{})
+		for w := 0; w < committers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-gate
+				for i := 0; i < iters; i++ {
+					tx := db.Begin()
+					if _, err := db.Invoke(tx, refs[w], "Buy", 1.0); err != nil {
+						tx.Abort()
+						errs <- err
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		start := time.Now()
+		close(gate)
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errs:
+			return 0, err
+		default:
+		}
+		return elapsed, nil
+	}
+
+	defer obs.Flight().SetEnabled(true)
+	mgr := db.Store().(*eos.Manager)
+
+	// segment runs one timed configuration. The forced GC keeps
+	// collection cycles out of the timed region: when the suite runs in
+	// one process, the heap debris of 19 prior experiments makes
+	// mid-segment GC pauses the dominant noise term.
+	var fsyncsOn, fsyncsOff, logOn, logOff, commitsOn, commitsOff uint64
+	segment := func(provenance bool, iters int) (time.Duration, error) {
+		db.SetProvenance(provenance)
+		obs.Flight().SetEnabled(provenance)
+		runtime.GC()
+		before := mgr.Stats()
+		e, err := drive(iters)
+		after := mgr.Stats()
+		if provenance {
+			fsyncsOn += after.Fsyncs - before.Fsyncs
+			logOn += after.LogBytes - before.LogBytes
+			commitsOn += uint64(committers * iters)
+		} else {
+			fsyncsOff += after.Fsyncs - before.Fsyncs
+			logOff += after.LogBytes - before.LogBytes
+			commitsOff += uint64(committers * iters)
+		}
+		return e, err
+	}
+	if _, err := segment(true, per/10); err != nil { // warmup
+		res.Summary = err.Error()
+		return res
+	}
+	if _, err := segment(false, per/10); err != nil {
+		res.Summary = err.Error()
+		return res
+	}
+	fsyncsOn, fsyncsOff, logOn, logOff, commitsOn, commitsOff = 0, 0, 0, 0, 0, 0
+
+	// Both configurations run on the SAME store — provenance is toggled
+	// between segments — so there is no second file or database instance
+	// whose one-time disk-allocation or memory-layout luck could bias a
+	// whole run. Each round runs the two configurations back to back
+	// (order alternating) and contributes one elapsed ratio; machine
+	// drift — in the full suite, mostly the kernel writing back what
+	// earlier experiments left dirty — moves on a scale of seconds, so
+	// the two halves of a round share it and their ratio cancels it. The
+	// median over rounds then discards rounds where a straggler hit one
+	// half only.
+	const rounds = 9
+	var bestOn, bestOff time.Duration
+	ratios := make([]float64, 0, rounds)
+	for k := 0; k < rounds; k++ {
+		var eOn, eOff time.Duration
+		for _, provenance := range []bool{k%2 == 0, k%2 != 0} {
+			e, err := segment(provenance, per)
+			if err != nil {
+				res.Summary = err.Error()
+				return res
+			}
+			if provenance {
+				eOn = e
+			} else {
+				eOff = e
+			}
+		}
+		ratios = append(ratios, eOn.Seconds()/eOff.Seconds())
+		if bestOn == 0 || eOn < bestOn {
+			bestOn = eOn
+		}
+		if bestOff == 0 || eOff < bestOff {
+			bestOff = eOff
+		}
+	}
+	on := float64(committers*per) / bestOn.Seconds()
+	off := float64(committers*per) / bestOff.Seconds()
+
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	overhead := median - 1
+	if overhead < 0 {
+		overhead = 0 // within noise: provenance segments were faster
+	}
+	// The run's own noise floor: the median absolute deviation of the
+	// round ratios. Identical configurations measured on this host in
+	// this process differ by this much round to round, so an overhead
+	// below it is not resolvable — the bar is 2% above it. On a quiet
+	// host the floor is a fraction of a percent and the bar is ~2%.
+	devs := make([]float64, len(ratios))
+	for i, q := range ratios {
+		devs[i] = q - median
+		if devs[i] < 0 {
+			devs[i] = -devs[i]
+		}
+	}
+	sort.Float64s(devs)
+	noise := devs[len(devs)/2]
+	fmt.Fprintf(r.W, "%-34s %14s %10s %16s\n",
+		"configuration", "commits/s", "fsyncs", "log bytes/commit")
+	fmt.Fprintf(r.W, "%-34s %14.0f %10d %16.1f\n",
+		"provenance + flight ON (default)", on, fsyncsOn, float64(logOn)/float64(commitsOn))
+	fmt.Fprintf(r.W, "%-34s %14.0f %10d %16.1f\n",
+		"provenance + flight OFF", off, fsyncsOff, float64(logOff)/float64(commitsOff))
+	fmt.Fprintf(r.W, "overhead: %.2f%% (round-ratio noise floor %.2f%%)\n", overhead*100, noise*100)
+
+	res.Passed = overhead <= 0.02+noise
+	res.Summary = fmt.Sprintf("provenance+flight overhead %.2f%% (noise floor %.2f%%) on %d-committer eos commits (%.0f vs %.0f commits/s, +%.1f WAL B/commit)",
+		overhead*100, noise*100, committers, on, off, float64(logOn)/float64(commitsOn)-float64(logOff)/float64(commitsOff))
+	return res
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this
+// build. The experiment suite asserts performance bars (scaling
+// factors, overhead percentages) that the detector's per-access
+// instrumentation invalidates, so the suite skips itself under -race;
+// the behaviors the experiments exercise are covered by the per-package
+// correctness tests, which do run under -race.
+const raceEnabled = true

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCauseStringParseRoundTrip(t *testing.T) {
+	cases := []Cause{
+		{Node: 1, Seq: 1},
+		{Node: 0xDEADBEEFCAFEF00D, Seq: 42},
+		{Node: 1, Seq: 0}, // seq 0 with a node is still non-zero
+		{Node: 0, Seq: 7}, // node 0 with a seq is still non-zero
+		{Node: ^uint64(0), Seq: ^uint64(0)},
+	}
+	for _, c := range cases {
+		s := c.String()
+		got, ok := ParseCause(s)
+		if !ok {
+			t.Fatalf("ParseCause(%q) not ok", s)
+		}
+		if got != c {
+			t.Fatalf("round trip %v -> %q -> %v", c, s, got)
+		}
+	}
+}
+
+func TestCauseZero(t *testing.T) {
+	var z Cause
+	if !z.IsZero() {
+		t.Fatal("zero Cause not IsZero")
+	}
+	if z.String() != "" {
+		t.Fatalf("zero Cause String = %q, want empty", z.String())
+	}
+	if c, ok := ParseCause(""); !ok || !c.IsZero() {
+		t.Fatalf("ParseCause(\"\") = %v, %v; want zero, true", c, ok)
+	}
+	// The explicit spelling of the zero cause is rejected: the empty
+	// string is its only encoding.
+	if _, ok := ParseCause("0000000000000000-0"); ok {
+		t.Fatal("ParseCause accepted the spelled-out zero cause")
+	}
+}
+
+func TestParseCauseRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"nonsense",
+		"deadbeef-1",                            // node too short
+		"00000000000000001-1",                   // node too long
+		"000000000000000g-1",                    // bad hex
+		"0000000000000001-",                     // missing seq
+		"0000000000000001-x",                    // bad seq
+		"0000000000000001-18446744073709551616", // seq overflows uint64
+		"0000000000000001",                      // no dash
+	} {
+		if _, ok := ParseCause(s); ok {
+			t.Errorf("ParseCause(%q) unexpectedly ok", s)
+		}
+	}
+}
+
+func TestCausesNextMonotonicConcurrent(t *testing.T) {
+	src := NewCauses()
+	if src.Node() == 0 {
+		t.Fatal("NewCauses assigned node 0")
+	}
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	seen := make([]map[uint64]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		seen[g] = make(map[uint64]bool, per)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c := src.Next()
+				if c.IsZero() {
+					t.Error("Next returned zero Cause")
+					return
+				}
+				seen[g][c.Seq] = true
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool, goroutines*per)
+	for _, m := range seen {
+		for s := range m {
+			if all[s] {
+				t.Fatalf("duplicate seq %d", s)
+			}
+			all[s] = true
+		}
+	}
+	if len(all) != goroutines*per {
+		t.Fatalf("got %d unique seqs, want %d", len(all), goroutines*per)
+	}
+}
+
+func TestCausesSetNode(t *testing.T) {
+	src := NewCauses()
+	src.SetNode(0xABCD)
+	if c := src.Next(); c.Node != 0xABCD {
+		t.Fatalf("node = %x, want abcd", c.Node)
+	}
+	src.SetNode(0) // refuses node 0
+	if c := src.Next(); c.Node == 0 {
+		t.Fatal("SetNode(0) left node 0")
+	}
+}
+
+func TestCauseNoteRoundTrip(t *testing.T) {
+	cases := []struct{ self, parent Cause }{
+		{Cause{Node: 0x1111, Seq: 7}, Cause{Node: 0x2222, Seq: 3}},
+		{Cause{Node: 0x1111, Seq: 7}, Cause{}}, // root posting: zero parent
+		{Cause{Node: ^uint64(0), Seq: ^uint64(0)}, Cause{Node: ^uint64(0), Seq: ^uint64(0)}},
+		{Cause{Node: 0xDEAD, Seq: 1 << 40}, Cause{Node: 0xBEEF, Seq: 1}},
+	}
+	for _, c := range cases {
+		b := EncodeCauseNote(c.self, c.parent)
+		if len(b) > MaxCauseNoteLen {
+			t.Fatalf("encoded length %d exceeds MaxCauseNoteLen %d", len(b), MaxCauseNoteLen)
+		}
+		gs, gp, ok := DecodeCauseNote(b)
+		if !ok || gs != c.self || gp != c.parent {
+			t.Fatalf("decode = %v, %v, %v; want %v, %v, true", gs, gp, ok, c.self, c.parent)
+		}
+	}
+	// The note is carried on every originating commit record, so a root
+	// posting (the common case) must encode compactly.
+	root := EncodeCauseNote(Cause{Node: 0xDEADBEEFCAFEF00D, Seq: 42}, Cause{})
+	parented := EncodeCauseNote(Cause{Node: 0xDEADBEEFCAFEF00D, Seq: 42}, Cause{Node: 1, Seq: 1})
+	if len(root) >= len(parented) {
+		t.Fatalf("root note (%dB) not smaller than parented note (%dB)", len(root), len(parented))
+	}
+	if len(root) > 12 {
+		t.Fatalf("root note is %d bytes, want ≤12", len(root))
+	}
+}
+
+func TestDecodeCauseNoteRejectsForeign(t *testing.T) {
+	good := EncodeCauseNote(Cause{Node: 1, Seq: 1}, Cause{Node: 2, Seq: 2})
+	unknownFlags := append([]byte{}, good...)
+	unknownFlags[1] |= 0x80
+	for _, b := range [][]byte{
+		nil,
+		{},
+		good[:len(good)-1],                   // truncated
+		append(append([]byte{}, good...), 0), // trailing garbage
+		append([]byte{0x00}, good[1:]...),    // wrong magic
+		unknownFlags,                         // future format flags
+		[]byte("this is application commit data, not a note!"),
+	} {
+		if _, _, ok := DecodeCauseNote(b); ok {
+			t.Errorf("DecodeCauseNote accepted %d-byte foreign payload", len(b))
+		}
+	}
+}

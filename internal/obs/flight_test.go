@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRingOrderAndOverwrite(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 1; i <= 6; i++ {
+		f.Record(IncCommit, Cause{Node: 1, Seq: uint64(i)}, Cause{}, uint64(i), "")
+	}
+	recs := f.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("snapshot length %d, want ring capacity 4", len(recs))
+	}
+	// Oldest-first: incidents 3..6 survive, 1 and 2 were overwritten.
+	for i, r := range recs {
+		if want := uint64(i + 3); r.Value != want {
+			t.Fatalf("slot %d value %d, want %d", i, r.Value, want)
+		}
+	}
+	if f.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", f.Total())
+	}
+}
+
+func TestFlightDisabled(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.SetEnabled(false)
+	if f.Enabled() {
+		t.Fatal("Enabled after SetEnabled(false)")
+	}
+	f.Record(IncCommit, Cause{Node: 1, Seq: 1}, Cause{}, 1, "")
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled recorder captured %d incidents", len(got))
+	}
+	f.SetEnabled(true)
+	f.Record(IncCommit, Cause{Node: 1, Seq: 2}, Cause{}, 2, "")
+	if got := f.Snapshot(); len(got) != 1 {
+		t.Fatalf("re-enabled recorder captured %d incidents, want 1", len(got))
+	}
+}
+
+func TestFlightZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(64)
+	cause := Cause{Node: 7, Seq: 1}
+	// Enabled path: slot write only, no allocations.
+	if n := testing.AllocsPerRun(200, func() {
+		f.Record(IncDetachedRetry, cause, Cause{}, 3, "T1")
+	}); n != 0 {
+		t.Errorf("enabled Record allocates %v per call, want 0", n)
+	}
+	f.SetEnabled(false)
+	if n := testing.AllocsPerRun(200, func() {
+		f.Record(IncDetachedRetry, cause, Cause{}, 3, "T1")
+	}); n != 0 {
+		t.Errorf("disabled Record allocates %v per call, want 0", n)
+	}
+}
+
+func TestFlightConcurrentWriters(t *testing.T) {
+	f := NewFlightRecorder(128)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := Cause{Node: uint64(g + 1)}
+			for i := 0; i < per; i++ {
+				c.Seq = uint64(i + 1)
+				f.Record(IncCommit, c, Cause{}, uint64(i), "concurrent")
+				if i%100 == 0 {
+					f.Snapshot() // readers race writers under -race
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Total() != goroutines*per {
+		t.Fatalf("Total = %d, want %d", f.Total(), goroutines*per)
+	}
+	recs := f.Snapshot()
+	if len(recs) != 128 {
+		t.Fatalf("snapshot length %d, want full ring 128", len(recs))
+	}
+	for i, r := range recs {
+		if r.Kind != IncCommit || r.Cause == "" {
+			t.Fatalf("slot %d torn: kind %q cause %q", i, r.Kind, r.Cause)
+		}
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(IncActionPanic, Cause{Node: 0xAB, Seq: 9}, Cause{Node: 0xAB, Seq: 4}, 0, "DenyCredit")
+	f.Record(IncPromotion, Cause{}, Cause{}, 17, "was replica of 127.0.0.1:7047")
+	var sb strings.Builder
+	f.Dump(&sb, "test reason")
+	out := sb.String()
+	for _, want := range []string{
+		"test reason",
+		"2 incidents",
+		IncActionPanic,
+		"cause=00000000000000ab-9",
+		"parent=00000000000000ab-4",
+		"DenyCredit",
+		IncPromotion,
+		"value=17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightKindsListed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range IncidentKinds {
+		if k == "" {
+			t.Fatal("empty incident kind")
+		}
+		if seen[k] {
+			t.Fatalf("duplicate incident kind %q", k)
+		}
+		seen[k] = true
+	}
+	if len(IncidentKinds) != 8 {
+		t.Fatalf("IncidentKinds has %d entries, want 8", len(IncidentKinds))
+	}
+}

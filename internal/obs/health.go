@@ -1,0 +1,55 @@
+package obs
+
+import "sync"
+
+// Health is the process health surface served by Handler as /healthz
+// and /readyz. Liveness (/healthz) is unconditional: if the process can
+// answer HTTP it is alive. Readiness (/readyz) aggregates named checks
+// — a replica registers a lag-threshold check, so a load balancer stops
+// routing reads to a node that has fallen behind the primary, and the
+// check is removed on promotion.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty health surface (ready by default).
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// SetReadiness installs (or, with fn == nil, removes) a named readiness
+// check. fn returns nil when the check passes.
+func (h *Health) SetReadiness(name string, fn func() error) {
+	h.mu.Lock()
+	if fn == nil {
+		delete(h.checks, name)
+	} else {
+		h.checks[name] = fn
+	}
+	h.mu.Unlock()
+}
+
+// Ready runs every readiness check and returns the failures by name
+// (empty or nil means ready). A nil *Health is always ready.
+func (h *Health) Ready() map[string]string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	fns := make(map[string]func() error, len(h.checks))
+	for name, fn := range h.checks {
+		fns[name] = fn
+	}
+	h.mu.Unlock()
+	var failing map[string]string
+	for name, fn := range fns {
+		if err := fn(); err != nil {
+			if failing == nil {
+				failing = make(map[string]string)
+			}
+			failing[name] = err.Error()
+		}
+	}
+	return failing
+}

@@ -13,19 +13,40 @@ import (
 //
 //	/metrics      JSON array of every registered metric (Registry.Snapshot)
 //	/traces       JSON array of the tracer's ring, oldest first
+//	/flight       JSON array of the flight recorder's ring, oldest first
+//	/healthz      liveness: always 200 while the process serves HTTP
+//	/readyz       readiness: 200, or 503 + failing checks as JSON
 //	/debug/vars   expvar (Go runtime memstats plus the "ode" registry var)
 //	/debug/pprof  the standard pprof index, profile, trace, symbol pages
 //
-// Wire it with ode-server's -obs-addr flag, or mount it yourself:
+// health may be nil (always ready). Wire it with ode-server's -obs-addr
+// flag, or mount it yourself:
 //
-//	http.ListenAndServe("127.0.0.1:6060", obs.Handler(db.Observability(), db.Tracer()))
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+//	http.ListenAndServe("127.0.0.1:6060", obs.Handler(db.Observability(), db.Tracer(), nil))
+func Handler(reg *Registry, tr *Tracer, health *Health) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, reg.Snapshot())
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, tr.Snapshot())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Flight().Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if failing := health.Ready(); len(failing) > 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(failing)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ready\n"))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -53,7 +74,7 @@ var publishOnce sync.Once
 // or ":0") and returns the bound address. The server runs on a
 // background goroutine until the process exits; it is intentionally
 // fire-and-forget, matching expvar/pprof conventions.
-func Serve(addr string, reg *Registry, tr *Tracer) (string, error) {
+func Serve(addr string, reg *Registry, tr *Tracer, health *Health) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -61,6 +82,6 @@ func Serve(addr string, reg *Registry, tr *Tracer) (string, error) {
 	publishOnce.Do(func() {
 		expvar.Publish("ode", expvar.Func(func() any { return reg.Snapshot() }))
 	})
-	go http.Serve(ln, Handler(reg, tr))
+	go http.Serve(ln, Handler(reg, tr, health))
 	return ln.Addr().String(), nil
 }

@@ -227,6 +227,13 @@ func (r *Registry) Histogram(name, unit, help string) *Histogram {
 	return h
 }
 
+// RegisterHistogram registers a caller-owned histogram, for components
+// (hub, replica) whose histograms must outlive any one registry and be
+// registerable on several.
+func (r *Registry) RegisterHistogram(name, unit, help string, h *Histogram) {
+	r.add(name, &metric{name: name, unit: unit, help: help, hist: h})
+}
+
 // Names returns every registered metric name, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()

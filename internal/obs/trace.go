@@ -50,6 +50,10 @@ type Step struct {
 	Coupling string `json:"coupling,omitempty"`
 	WaitNs   int64  `json:"wait_ns,omitempty"`
 	Err      string `json:"err,omitempty"`
+	// Cause, on a fire step, is the cause ID of the posting that began
+	// the accepted composite pattern — for a pattern half-matched before
+	// a failover, that is the *primary-side* originating event.
+	Cause string `json:"cause,omitempty"`
 }
 
 // Trace is one sampled posting and the trigger firings it produced. A
@@ -64,6 +68,8 @@ type Trace struct {
 	eventID uint32
 	event   string
 	oid     uint64
+	cause   Cause
+	parent  Cause
 
 	mu    sync.Mutex
 	steps []Step
@@ -79,6 +85,8 @@ type TraceRecord struct {
 	EventID     uint32 `json:"event_id"`
 	Event       string `json:"event"`
 	OID         uint64 `json:"oid"`
+	Cause       string `json:"cause,omitempty"`
+	ParentCause string `json:"parent_cause,omitempty"`
 	Steps       []Step `json:"steps"`
 }
 
@@ -89,6 +97,17 @@ func (t *Trace) Event() string {
 		return ""
 	}
 	return t.event
+}
+
+// SetCause records the posting's provenance: self is the cause ID
+// assigned to this posting, parent the cause of the posting whose
+// trigger action (if any) posted it. No-op on a nil trace.
+func (t *Trace) SetCause(self, parent Cause) {
+	if t == nil {
+		return
+	}
+	t.cause = self
+	t.parent = parent
 }
 
 // Add appends one step, stamping its offset from the trace start. Add on
@@ -141,6 +160,8 @@ func (t *Trace) snapshot() TraceRecord {
 		EventID:     t.eventID,
 		Event:       t.event,
 		OID:         t.oid,
+		Cause:       t.cause.String(),
+		ParentCause: t.parent.String(),
 		Steps:       steps,
 	}
 }
@@ -206,6 +227,8 @@ func (t *Tracer) Start(eventID uint32, event string, oid uint64) *Trace {
 	tr.eventID = eventID
 	tr.event = event
 	tr.oid = oid
+	tr.cause = Cause{} // pooled traces must not leak a prior provenance
+	tr.parent = Cause{}
 	tr.refs.Store(1) // the caller's reference
 	return tr
 }

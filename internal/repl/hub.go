@@ -40,6 +40,7 @@ type Hub struct {
 	recordsShipped   obs.Counter
 	bytesShipped     obs.Counter
 	snapshotsShipped obs.Counter
+	pingRTT          obs.Histogram
 }
 
 // subscriber is one live stream's shipping position.
@@ -127,6 +128,8 @@ func (h *Hub) RegisterMetrics(reg *obs.Registry) {
 		h.bytesShipped.Value)
 	reg.Func("repl.snapshots_shipped", "snapshots", "full-store bootstraps sent to out-of-range subscribers",
 		h.snapshotsShipped.Value)
+	reg.RegisterHistogram("repl.ping_rtt_ns", "ns", "ping→pong round trip to subscribers, hub clock",
+		&h.pingRTT)
 }
 
 func (h *Hub) addSub(pos wal.LSN) *subscriber {
@@ -161,6 +164,26 @@ func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 
 	s := h.addSub(from)
 	defer h.removeSub(s)
+
+	// Pongs are the only upstream frames; a side reader drains them and
+	// observes RTT on this clock. It exits when the connection closes
+	// (the server closes conn when this handler returns). The server's
+	// request reader cannot have buffered pong bytes: a replica sends
+	// nothing after its subscribe request until it hears a ping.
+	go func() {
+		pongDec := json.NewDecoder(conn)
+		for {
+			var f Frame
+			if err := pongDec.Decode(&f); err != nil {
+				return
+			}
+			if f.T == FramePong && f.TS > 0 {
+				if d := time.Now().UnixNano() - f.TS; d >= 0 {
+					h.pingRTT.Observe(d)
+				}
+			}
+		}
+	}()
 
 	// Out-of-range positions get a full snapshot first: below base the
 	// records were checkpoint-truncated away; beyond end the replica
@@ -241,7 +264,7 @@ func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 		select {
 		case <-s.wake:
 		case <-ping.C:
-			if err := enc.Encode(&Frame{T: FramePing, End: uint64(end)}); err != nil {
+			if err := enc.Encode(&Frame{T: FramePing, End: uint64(end), TS: time.Now().UnixNano()}); err != nil {
 				return nil
 			}
 		case <-h.closed:

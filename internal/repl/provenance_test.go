@@ -1,0 +1,185 @@
+package repl
+
+import (
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ode/internal/core"
+	"ode/internal/obs"
+)
+
+// TestFailoverProvenanceLinksToPrimary is the cross-node tentpole
+// acceptance test: a composite event "after Buy, after PayBill" is
+// half-matched on the primary, the replica is promoted, and PayBill
+// completes the pattern there. The promoted replica's firing trace must
+// carry a cause chain that links back to the *primary-side* originating
+// event — the Buy posting's cause ID, stamped into the persistent
+// trigger state and shipped by replication.
+func TestFailoverProvenanceLinksToPrimary(t *testing.T) {
+	dir := t.TempDir()
+	var fired atomic.Uint64
+	cls := seqClass(&fired)
+	p := startPrimary(t, filepath.Join(dir, "primary.db"), cls)
+
+	const primaryNode uint64 = 0xCA05A1 // deterministic, non-zero
+	p.db.Causes().SetNode(primaryNode)
+	p.db.Tracer().SetRate(1)
+
+	tx := p.db.Begin()
+	ref, err := p.db.Create(tx, "Acct", &Acct{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.db.Activate(tx, ref, "Seq"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First half of the sequence on the primary.
+	commitOp(t, p.db, ref, "Buy", 100)
+
+	// The Buy posting's cause is the originating event of the pattern.
+	var buyCause string
+	for _, r := range p.db.Tracer().Snapshot() {
+		if r.Event == "Acct::after Buy" {
+			buyCause = r.Cause
+		}
+	}
+	bc, ok := obs.ParseCause(buyCause)
+	if !ok || bc.IsZero() {
+		t.Fatalf("primary Buy trace has no cause: %q", buyCause)
+	}
+	if bc.Node != primaryNode {
+		t.Fatalf("Buy cause node %016x, want primary node %016x", bc.Node, uint64(primaryNode))
+	}
+
+	// Replica: sync, attach, and verify the shipped commit was attributed
+	// to the primary-side cause via the WAL cause note.
+	rep, rstore := startReplica(t, dir, "replica.db", p.addr)
+	if err := rep.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "zero lag", func() bool { return rep.Status().LagBytes == 0 })
+	if got := rep.Status().LastCause; got != buyCause {
+		t.Fatalf("replica Status().LastCause = %q, want primary Buy cause %q", got, buyCause)
+	}
+
+	rdb, err := core.NewDatabase(rstore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	if err := rdb.Register(cls); err != nil {
+		t.Fatal(err)
+	}
+	rep.AttachDatabase(rdb)
+	rdb.Tracer().SetRate(1)
+	replicaNode := rdb.Causes().Node()
+	if replicaNode == primaryNode {
+		t.Fatal("replica reused the primary's node ID")
+	}
+
+	// Fail the primary; promote the replica.
+	p.shutdown()
+	rep.Promote()
+
+	// Second half of the sequence on the promoted replica.
+	commitOp(t, rdb, ref, "PayBill", 40)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("trigger fired %d times after failover, want exactly 1", n)
+	}
+
+	// The promoted replica's trace: its own posting has a replica-node
+	// cause, but the fire step links to the primary-side origin.
+	var payTrace *obs.TraceRecord
+	for _, r := range rdb.Tracer().Snapshot() {
+		if r.Event == "Acct::after PayBill" {
+			r := r
+			payTrace = &r
+		}
+	}
+	if payTrace == nil {
+		t.Fatal("no trace for the completing PayBill posting")
+	}
+	pc, ok := obs.ParseCause(payTrace.Cause)
+	if !ok || pc.IsZero() {
+		t.Fatalf("PayBill trace has no cause: %q", payTrace.Cause)
+	}
+	if pc.Node != replicaNode {
+		t.Fatalf("PayBill cause node %016x, want replica node %016x", pc.Node, replicaNode)
+	}
+
+	var fireCause string
+	for _, s := range payTrace.Steps {
+		if s.Kind == obs.StepFire && s.Trigger == "Seq" {
+			fireCause = s.Cause
+		}
+	}
+	if fireCause != buyCause {
+		t.Fatalf("promoted-replica fire step cause = %q, want the primary-side originating event %q",
+			fireCause, buyCause)
+	}
+	fc, _ := obs.ParseCause(fireCause)
+	if fc.Node != primaryNode {
+		t.Fatalf("fire cause node %016x, not attributed to the primary %016x", fc.Node, uint64(primaryNode))
+	}
+
+	// The promotion itself landed in the flight recorder.
+	var sawPromotion bool
+	for _, inc := range obs.Flight().Snapshot() {
+		if inc.Kind == obs.IncPromotion {
+			sawPromotion = true
+		}
+	}
+	if !sawPromotion {
+		t.Fatal("promotion incident missing from the flight recorder")
+	}
+}
+
+// TestReplicaLagMetric: repl.lag_bytes is served from the apply loop's
+// atomic and reaches zero once the replica has caught up.
+func TestReplicaLagMetric(t *testing.T) {
+	dir := t.TempDir()
+	var fired atomic.Uint64
+	cls := seqClass(&fired)
+	p := startPrimary(t, filepath.Join(dir, "primary.db"), cls)
+	defer p.shutdown()
+
+	tx := p.db.Begin()
+	ref, err := p.db.Create(tx, "Acct", &Acct{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	commitOp(t, p.db, ref, "Buy", 1)
+
+	rep, rstore := startReplica(t, dir, "replica.db", p.addr)
+	defer rep.Stop()
+	defer rstore.Close()
+	if err := rep.WaitCaughtUp(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rep.RegisterMetrics(reg)
+	waitFor(t, "lag metric zero", func() bool {
+		for _, m := range reg.Snapshot() {
+			if m.Name == "repl.lag_bytes" {
+				return m.Value == 0
+			}
+		}
+		t.Fatal("repl.lag_bytes not registered")
+		return false
+	})
+	// apply_ns observed at least one replicated transaction.
+	for _, m := range reg.Snapshot() {
+		if m.Name == "repl.apply_ns" && m.Count == 0 {
+			t.Fatal("repl.apply_ns recorded no applies")
+		}
+	}
+}

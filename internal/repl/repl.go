@@ -46,6 +46,7 @@ type Frame struct {
 	Data    []byte    `json:"data,omitempty"`     // obj (base64 via encoding/json)
 	Recs    []WireRec `json:"recs,omitempty"`     // recs
 	Err     string    `json:"err,omitempty"`      // err
+	TS      int64     `json:"ts,omitempty"`       // ping/pong: sender timestamp (RTT measurement)
 }
 
 // Frame type tags.
@@ -55,7 +56,12 @@ const (
 	FrameSnapEnd = "snapend"
 	FrameRecs    = "recs"
 	FramePing    = "ping"
-	FrameErr     = "err"
+	// FramePong is the only frame a replica sends *up* the stream: it
+	// echoes a ping's TS so the hub can observe round-trip time on its
+	// own clock. Old peers neither send nor expect it (a ping without TS
+	// gets no pong), so mixed versions interoperate.
+	FramePong = "pong"
+	FrameErr  = "err"
 )
 
 // WireRec is one WAL record on the wire. Next is the LSN just past the

@@ -47,6 +47,10 @@ type Status struct {
 	LagBytes   uint64 `json:"lag_bytes"`   // EndLSN - AppliedLSN
 	Reconnects uint64 `json:"reconnects"`
 	Promoted   bool   `json:"promoted"`
+	// LastCause is the primary-side cause ID carried on the most
+	// recently applied commit record ("" before the first annotated
+	// commit): which primary event this replica last acted on.
+	LastCause string `json:"last_cause,omitempty"`
 }
 
 // Replica follows a primary: it subscribes from its last durable
@@ -65,13 +69,16 @@ type Replica struct {
 
 	applied    atomic.Uint64 // resume position (primary LSN space)
 	end        atomic.Uint64 // primary durable end, as last heard
+	lag        atomic.Uint64 // end - applied, maintained by the apply loop
 	connected  atomic.Bool
 	promoted   atomic.Bool
 	reconnects obs.Counter
+	lastCause  atomic.Value // string: cause note of the last applied commit
 
 	recordsApplied  obs.Counter
 	batchesApplied  obs.Counter
 	snapshotsLoaded obs.Counter
+	applyNs         obs.Histogram // ApplyReplicated latency per batch
 
 	// caughtUp is closed the first time applied reaches the end the
 	// primary reported at subscribe time — the bootstrap barrier.
@@ -145,6 +152,7 @@ func (r *Replica) Promote() {
 	if db := r.db.Load(); db != nil {
 		db.SetReadOnly(false)
 	}
+	obs.Flight().Record(obs.IncPromotion, obs.Cause{}, obs.Cause{}, r.applied.Load(), "was replica of "+r.primary)
 }
 
 // WaitCaughtUp blocks until the replica has applied everything the
@@ -164,19 +172,16 @@ func (r *Replica) WaitCaughtUp(timeout time.Duration) error {
 
 // Status snapshots the stream state.
 func (r *Replica) Status() Status {
-	applied, end := r.applied.Load(), r.end.Load()
-	var lag uint64
-	if end > applied {
-		lag = end - applied
-	}
+	lastCause, _ := r.lastCause.Load().(string)
 	return Status{
 		Primary:    r.primary,
 		Connected:  r.connected.Load(),
-		AppliedLSN: applied,
-		EndLSN:     end,
-		LagBytes:   lag,
+		AppliedLSN: r.applied.Load(),
+		EndLSN:     r.end.Load(),
+		LagBytes:   r.lag.Load(),
 		Reconnects: r.reconnects.Value(),
 		Promoted:   r.promoted.Load(),
+		LastCause:  lastCause,
 	}
 }
 
@@ -193,8 +198,23 @@ func (r *Replica) RegisterMetrics(reg *obs.Registry) {
 		r.reconnects.Value)
 	reg.Func("repl.applied_lsn", "lsn", "resume position in the primary's LSN space",
 		r.applied.Load)
+	// Served straight from an atomic the apply loop maintains, so a
+	// scrape never does more than one load.
 	reg.Func("repl.lag_bytes", "bytes", "primary durable end minus applied position",
-		func() uint64 { return r.Status().LagBytes })
+		r.lag.Load)
+	reg.RegisterHistogram("repl.apply_ns", "ns", "ApplyReplicated latency per replicated transaction",
+		&r.applyNs)
+}
+
+// updateLag recomputes the lag gauge from the applied/end atomics.
+// Called wherever either side moves, so scrapes are a single load.
+func (r *Replica) updateLag() {
+	applied, end := r.applied.Load(), r.end.Load()
+	var lag uint64
+	if end > applied {
+		lag = end - applied
+	}
+	r.lag.Store(lag)
 }
 
 // run is the reconnect loop: stream until the link drops, back off,
@@ -211,6 +231,7 @@ func (r *Replica) run() {
 		}
 		if !first {
 			r.reconnects.Inc()
+			obs.Flight().Record(obs.IncReplicaRedial, obs.Cause{}, obs.Cause{}, r.reconnects.Value(), "primary "+r.primary)
 			select {
 			case <-time.After(bo.Next()):
 			case <-r.stop:
@@ -292,6 +313,7 @@ func (r *Replica) streamOnce() error {
 				return err
 			}
 			r.end.Store(f.End)
+			r.updateLag()
 			if firstEnd == 0 {
 				firstEnd = f.End
 			}
@@ -299,6 +321,14 @@ func (r *Replica) streamOnce() error {
 			progressed = true
 		case FramePing:
 			r.end.Store(f.End)
+			r.updateLag()
+			if f.TS != 0 {
+				// Echo the hub's timestamp so it can observe RTT. Old
+				// primaries send no TS and get no pong.
+				if err := enc.Encode(&Frame{T: FramePong, TS: f.TS}); err != nil {
+					return err
+				}
+			}
 			if firstEnd == 0 {
 				firstEnd = f.End
 			}
@@ -331,13 +361,23 @@ func (r *Replica) applyBatch(f *Frame, pending map[uint64][]storage.Op) error {
 		case wal.RecCommit:
 			ops := pending[rec.Txn]
 			delete(pending, rec.Txn)
+			// A cause note on the primary's commit record attributes this
+			// apply to the primary-side event that caused it. Re-attach
+			// it before applying so the replica's own WAL commit record
+			// (and flight incident) re-carry the attribution.
+			if self, parent, ok := obs.DecodeCauseNote(rec.Data); ok {
+				r.store.SetCommitCause(rec.Txn, self, parent)
+				r.lastCause.Store(self.String())
+			}
 			// ApplyReplicated returns once the batch is locally durable
 			// (it rides the replica's own group commit), so advancing
 			// the resume position here is crash-safe: at worst the
 			// sidecar is stale and we re-apply idempotent records.
+			applyStart := time.Now()
 			if err := r.store.ApplyReplicated(rec.Txn, ops); err != nil {
 				return fmt.Errorf("repl: apply txn %d: %w", rec.Txn, err)
 			}
+			r.applyNs.Observe(time.Since(applyStart).Nanoseconds())
 			r.batchesApplied.Inc()
 			r.setApplied(rec.Next)
 		case wal.RecCheckpoint:
@@ -358,6 +398,7 @@ func (r *Replica) setApplied(lsn uint64) {
 		return
 	}
 	r.applied.Store(lsn)
+	r.updateLag()
 	savePos(r.opts.PosPath, lsn) // best-effort; stale is safe
 }
 

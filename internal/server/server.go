@@ -27,9 +27,19 @@ import (
 	"time"
 
 	"ode/internal/core"
+	"ode/internal/obs"
 	"ode/internal/storage"
 	"ode/internal/txn"
 )
+
+// MaxTraceRate bounds the trace op's sampling rate: one trace per 2³²
+// postings is already indistinguishable from off, and anything larger
+// is a client bug (or an overflowed computation) worth rejecting.
+const MaxTraceRate = 1 << 32
+
+// ErrInvalidTraceRate reports a trace op whose rate is neither -1
+// (disable), 0 (leave unchanged), nor 1..MaxTraceRate.
+var ErrInvalidTraceRate = errors.New("server: invalid trace rate (want -1 to disable, 0 to leave unchanged, or 1..2^32)")
 
 // Request is one client command.
 type Request struct {
@@ -457,14 +467,24 @@ func (sess *session) handle(req *Request) *Response {
 		return &Response{OK: true, Result: sess.db.Observability().Snapshot()}
 	case "trace":
 		// Export the firing-trace ring, oldest first. rate > 0 first sets
-		// 1-in-rate sampling (1 = every posting), rate < 0 disables
-		// tracing, rate 0 leaves the current rate untouched.
-		if req.Rate > 0 {
-			sess.db.Tracer().SetRate(uint64(req.Rate))
-		} else if req.Rate < 0 {
+		// 1-in-rate sampling (1 = every posting), rate -1 disables
+		// tracing, rate 0 leaves the current rate untouched. Anything
+		// else — other negatives, rates past MaxTraceRate — used to
+		// silently misconfigure the sampler; now it is a typed error.
+		switch {
+		case req.Rate == 0:
+		case req.Rate == -1:
 			sess.db.Tracer().SetRate(0)
+		case req.Rate > 0 && req.Rate <= MaxTraceRate:
+			sess.db.Tracer().SetRate(uint64(req.Rate))
+		default:
+			return sess.fail(fmt.Errorf("%w: got %d", ErrInvalidTraceRate, req.Rate))
 		}
 		return &Response{OK: true, Result: sess.db.Tracer().Snapshot()}
+	case "flight":
+		// Export the process-wide flight recorder's ring, oldest first.
+		// No transaction needed; the recorder is always on.
+		return &Response{OK: true, Result: obs.Flight().Snapshot()}
 	default:
 		return sess.fail(fmt.Errorf("unknown op %q", req.Op))
 	}

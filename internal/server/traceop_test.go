@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"ode/internal/core"
+	"ode/internal/storage/dali"
+)
+
+// startServerDB is startServer but also returns the database, so tests
+// can observe server-op side effects (the tracer's rate).
+func startServerDB(t *testing.T) (addr string, db *core.Database) {
+	t.Helper()
+	db, err := core.NewDatabase(dali.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(credCardClass()); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(db)
+	addr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return addr, db
+}
+
+// rawOp sends one raw JSON request on a fresh connection and returns
+// the decoded response.
+func rawOp(t *testing.T, addr string, req map[string]any) (ok bool, errMsg string, result json.RawMessage) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp.OK, resp.Error, resp.Result
+}
+
+func TestTraceOpRateValidation(t *testing.T) {
+	addr, db := startServerDB(t)
+	db.Tracer().SetRate(7)
+
+	// rate 0 leaves the current rate untouched.
+	if ok, errMsg, _ := rawOp(t, addr, map[string]any{"op": "trace"}); !ok {
+		t.Fatalf("trace with no rate failed: %s", errMsg)
+	}
+	if got := db.Tracer().Rate(); got != 7 {
+		t.Fatalf("rate 0 changed the sampling rate to %d", got)
+	}
+
+	// A valid positive rate is applied.
+	if ok, errMsg, _ := rawOp(t, addr, map[string]any{"op": "trace", "rate": 16}); !ok {
+		t.Fatalf("trace rate 16 failed: %s", errMsg)
+	}
+	if got := db.Tracer().Rate(); got != 16 {
+		t.Fatalf("rate = %d, want 16", got)
+	}
+
+	// -1 disables sampling.
+	if ok, errMsg, _ := rawOp(t, addr, map[string]any{"op": "trace", "rate": -1}); !ok {
+		t.Fatalf("trace rate -1 failed: %s", errMsg)
+	}
+	if got := db.Tracer().Rate(); got != 0 {
+		t.Fatalf("rate -1 left sampling at %d, want 0 (disabled)", got)
+	}
+
+	// Invalid rates are typed errors and leave the rate untouched.
+	db.Tracer().SetRate(5)
+	for _, bad := range []any{-2, int64(MaxTraceRate) + 1} {
+		ok, errMsg, _ := rawOp(t, addr, map[string]any{"op": "trace", "rate": bad})
+		if ok {
+			t.Fatalf("trace rate %v accepted, want rejection", bad)
+		}
+		if !strings.Contains(errMsg, "invalid trace rate") {
+			t.Fatalf("rate %v error = %q, want ErrInvalidTraceRate text", bad, errMsg)
+		}
+		if got := db.Tracer().Rate(); got != 5 {
+			t.Fatalf("rejected rate %v still changed sampling to %d", bad, got)
+		}
+	}
+}
+
+func TestFlightOp(t *testing.T) {
+	addr, _ := startServerDB(t)
+	ok, errMsg, result := rawOp(t, addr, map[string]any{"op": "flight"})
+	if !ok {
+		t.Fatalf("flight op failed: %s", errMsg)
+	}
+	// The result is the incident ring: a JSON array (possibly empty, or
+	// carrying incidents from other tests in this process).
+	var incidents []map[string]any
+	if err := json.Unmarshal(result, &incidents); err != nil {
+		t.Fatalf("flight result not an incident array: %v\n%s", err, result)
+	}
+}

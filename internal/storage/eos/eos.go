@@ -34,6 +34,7 @@ import (
 	"os"
 	"sync"
 
+	"ode/internal/obs"
 	"ode/internal/storage"
 	"ode/internal/wal"
 )
@@ -121,6 +122,62 @@ type Manager struct {
 	// still needs survive the checkpoint. Called under mu; must be cheap
 	// and must not call back into the manager.
 	walPin func() (wal.LSN, bool)
+
+	// commitCauses holds each in-flight transaction's causal-provenance
+	// note (set by the core layer before commit, or by the replication
+	// applier re-attaching a primary-side note). applyCommit consumes
+	// the note into the commit record's Data, which the replication
+	// stream ships verbatim — so a replica knows which primary-side
+	// event each applied transaction originated from. The table is
+	// sharded by transaction ID: every committing transaction touches it
+	// (set + take), so a single mutex would put one more global
+	// serialization point on the commit path.
+	commitCauses [causeShards]causeShard
+}
+
+// causeShards is the commitCauses shard count (power of two).
+const causeShards = 16
+
+type causeShard struct {
+	mu    sync.Mutex
+	notes map[uint64]causeNote
+}
+
+// causeNote is a pending commit-record annotation.
+type causeNote struct {
+	self, parent obs.Cause
+}
+
+// SetCommitCause attaches (self, parent) to txn's eventual commit
+// record. Implements the core layer's commitCauser hook.
+func (m *Manager) SetCommitCause(txn uint64, self, parent obs.Cause) {
+	sh := &m.commitCauses[txn&(causeShards-1)]
+	sh.mu.Lock()
+	if sh.notes == nil {
+		sh.notes = make(map[uint64]causeNote)
+	}
+	sh.notes[txn] = causeNote{self: self, parent: parent}
+	sh.mu.Unlock()
+}
+
+// ClearCommitCause drops txn's pending note (the transaction aborted).
+func (m *Manager) ClearCommitCause(txn uint64) {
+	sh := &m.commitCauses[txn&(causeShards-1)]
+	sh.mu.Lock()
+	delete(sh.notes, txn)
+	sh.mu.Unlock()
+}
+
+// takeCommitCause consumes txn's pending note.
+func (m *Manager) takeCommitCause(txn uint64) (causeNote, bool) {
+	sh := &m.commitCauses[txn&(causeShards-1)]
+	sh.mu.Lock()
+	n, ok := sh.notes[txn]
+	if ok {
+		delete(sh.notes, txn)
+	}
+	sh.mu.Unlock()
+	return n, ok
 }
 
 // Options configures Open.
@@ -404,6 +461,12 @@ func (m *Manager) recover(force bool) error {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			// Mid-log corruption refuses the open; dump the recorder so
+			// the incidents preceding the damage reach the crash output.
+			obs.Flight().Record(obs.IncCorrupt, obs.Cause{}, obs.Cause{}, 0, err.Error())
+			obs.DumpFlight("wal corruption during recovery")
+		}
 		return fmt.Errorf("eos: recovery: %w", err)
 	}
 	if replayed {
@@ -503,6 +566,9 @@ func (m *Manager) Exists(oid storage.OID) bool {
 // writes are rejected with storage.ErrReadOnly.
 func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 	if len(ops) == 0 {
+		// A read-only transaction may still have posted events (and set a
+		// cause note); there is no commit record to carry it.
+		m.takeCommitCause(txn)
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		if m.closed {
@@ -539,7 +605,13 @@ func (m *Manager) applyCommit(txn uint64, ops []storage.Op, replicated bool) err
 			return fmt.Errorf("eos: unknown op kind %v", op.Kind)
 		}
 	}
-	recs = append(recs, wal.Record{Type: wal.RecCommit, Txn: txn})
+	crec := wal.Record{Type: wal.RecCommit, Txn: txn}
+	note, hasNote := m.takeCommitCause(txn)
+	if hasNote {
+		crec.Data = obs.EncodeCauseNote(note.self, note.parent)
+		logBytes += uint64(len(crec.Data))
+	}
+	recs = append(recs, crec)
 
 	// 1. Sequence.
 	m.seqMu.Lock()
@@ -598,6 +670,7 @@ func (m *Manager) applyCommit(txn uint64, ops []storage.Op, replicated bool) err
 	if applyErr != nil {
 		return applyErr
 	}
+	obs.Flight().Record(obs.IncCommit, note.self, note.parent, txn, "")
 	if wantCkpt {
 		return m.Checkpoint()
 	}
@@ -623,7 +696,15 @@ func (m *Manager) healWAL() {
 	}
 	m.drainAppliesLocked()
 	m.mu.Unlock()
-	_ = m.log.Heal() // best effort; Heal is a no-op when already healthy
+	// Best effort; Heal is a no-op when already healthy.
+	if err := m.log.Heal(); err != nil {
+		if errors.Is(err, wal.ErrCorrupt) {
+			obs.Flight().Record(obs.IncCorrupt, obs.Cause{}, obs.Cause{}, 0, err.Error())
+			obs.DumpFlight("wal corruption during heal")
+		}
+		return
+	}
+	obs.Flight().Record(obs.IncWALHeal, obs.Cause{}, obs.Cause{}, 0, "")
 }
 
 // drainQueueLocked applies (in log order) every queued entry with

@@ -36,9 +36,15 @@ func TestObservabilityDocCoverage(t *testing.T) {
 			t.Errorf("trace step kind %q is not documented in docs/OBSERVABILITY.md", kind)
 		}
 	}
+	for _, kind := range obs.IncidentKinds {
+		if !strings.Contains(doc, `"`+kind+`"`) {
+			t.Errorf("flight incident kind %q is not documented in docs/OBSERVABILITY.md", kind)
+		}
+	}
 	for _, typ := range []reflect.Type{
 		reflect.TypeOf(obs.Step{}),
 		reflect.TypeOf(obs.TraceRecord{}),
+		reflect.TypeOf(obs.IncidentRecord{}),
 		reflect.TypeOf(obs.MetricValue{}),
 		reflect.TypeOf(obs.Bucket{}),
 	} {
