@@ -1,0 +1,86 @@
+// Command ode-benchdiff compares a freshly generated benchmark JSON file
+// (see bench_test.go's ODE_BENCH_OUT hook) against the committed baseline
+// BENCH_mvcc.json and fails if a machine-independent ratio regressed.
+//
+// Absolute throughput numbers vary with hardware, so only the derived
+// "ratio/..." keys are gated: they divide two measurements taken on the
+// same machine in the same run (e.g. snapshot reader q/s over the
+// no-trigger baseline), which cancels the hardware term. A fresh ratio
+// below threshold × committed means snapshot reads got relatively slower.
+//
+// Usage:
+//
+//	ode-benchdiff [-threshold 0.9] committed.json fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	threshold := flag.Float64("threshold", 0.9, "fail when fresh ratio < threshold * committed ratio")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatalf("usage: ode-benchdiff [-threshold 0.9] committed.json fresh.json")
+	}
+	committed := load(flag.Arg(0))
+	fresh := load(flag.Arg(1))
+
+	failed := false
+	checked := 0
+	for _, section := range sortedKeys(committed) {
+		for _, key := range sortedKeys(committed[section]) {
+			if !strings.HasPrefix(key, "ratio/") {
+				continue
+			}
+			want := committed[section][key]
+			got, ok := fresh[section][key]
+			if !ok {
+				fmt.Printf("MISSING %s %s (committed %.2f, fresh run has no value)\n", section, key, want)
+				failed = true
+				continue
+			}
+			checked++
+			verdict := "ok"
+			if got < *threshold*want {
+				verdict = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("%-9s %s %s: committed %.2f, fresh %.2f\n", verdict, section, key, want, got)
+		}
+	}
+	if checked == 0 && !failed {
+		log.Fatalf("no ratio keys found in %s — nothing gated", flag.Arg(0))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func load(path string) map[string]map[string]float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("read %s: %v", path, err)
+	}
+	var out map[string]map[string]float64
+	if err := json.Unmarshal(raw, &out); err != nil {
+		log.Fatalf("parse %s: %v", path, err)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -76,6 +76,13 @@ var (
 	// primary instead. The server layer attaches the primary's address
 	// as a redirect when it sees this error.
 	ErrReadOnly = storage.ErrReadOnly
+	// ErrSnapshotWrite re-exports the txn-layer error returned when a
+	// snapshot (lock-free read-only) transaction attempts a write or an
+	// exclusive lock. Rerun the work in a regular transaction.
+	ErrSnapshotWrite = txn.ErrSnapshotWrite
+	// ErrNoVersions re-exports the txn-layer error BeginSnapshot returns
+	// when the storage manager keeps no version chains.
+	ErrNoVersions = txn.ErrNoVersions
 )
 
 // BoundTrigger is the run-time TriggerInfo of §5.4.4: the compiled FSM,
@@ -150,6 +157,7 @@ type Stats struct {
 	ActionPanics     uint64 // trigger actions that panicked (recovered, treated as errors)
 	DetachedRetries  uint64 // detached system txns re-run after a retryable abort (deadlock, transient commit failure)
 	DetachedDropped  uint64 // detached firings lost for good (permanent error or retry budget exhausted)
+	SnapshotPosts    uint64 // postings inside snapshot transactions (local rules only; persistent processing suppressed)
 }
 
 // Database is one Ode database: a storage manager plus the object and
@@ -348,6 +356,7 @@ func (db *Database) Stats() Stats {
 		ActionPanics:     m.actionPanics.Value(),
 		DetachedRetries:  m.detachedRetries.Value(),
 		DetachedDropped:  m.detachedDropped.Value(),
+		SnapshotPosts:    m.snapshotPosts.Value(),
 	}
 }
 
@@ -359,6 +368,7 @@ func (db *Database) ResetStats() {
 		m.eventsPosted, m.fastPathSkips, m.triggersAdvanced, m.masksEvaluated,
 		m.firedImmediate, m.firedDeferred, m.firedDependent, m.firedIndependent,
 		m.actionErrors, m.actionPanics, m.detachedRetries, m.detachedDropped,
+		m.snapshotPosts,
 	} {
 		c.Reset()
 	}

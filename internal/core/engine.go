@@ -253,6 +253,47 @@ func (db *Database) dropState(tx *txn.Txn) {
 // Begin starts a transaction on this database.
 func (db *Database) Begin() *txn.Txn { return db.tm.Begin() }
 
+// BeginSnapshot starts a lock-free read-only transaction pinned to the
+// storage manager's current durable commit LSN. Reads go to the newest
+// version at or below that LSN without touching the lock manager, so a
+// snapshot reader never waits and can never deadlock; any write attempt
+// fails with ErrSnapshotWrite. Fails with ErrNoVersions when the store
+// keeps no version chains.
+func (db *Database) BeginSnapshot() (*txn.Txn, error) { return db.tm.BeginSnapshot() }
+
+// Query invokes a method in a one-shot transaction, preferring a
+// snapshot: the common read-only query (no writes, no persistent
+// trigger advances) runs without a single lock-manager call. If the
+// method turns out to need write locks (ErrSnapshotWrite) or the store
+// keeps no versions, the call transparently reruns in a regular
+// transaction.
+func (db *Database) Query(ref Ref, method string, args ...any) (any, error) {
+	snap, err := db.BeginSnapshot()
+	switch {
+	case err == nil:
+		ret, err := db.Invoke(snap, ref, method, args...)
+		if err == nil {
+			return ret, snap.Commit()
+		}
+		_ = snap.Abort()
+		if !errors.Is(err, txn.ErrSnapshotWrite) {
+			return nil, err
+		}
+		// The method needs write locks — fall through to a regular txn.
+	case errors.Is(err, txn.ErrNoVersions):
+		// Unversioned store: the regular transaction is the only path.
+	default:
+		return nil, err
+	}
+	tx := db.Begin()
+	ret, err := db.Invoke(tx, ref, method, args...)
+	if err != nil {
+		_ = tx.Abort()
+		return nil, err
+	}
+	return ret, tx.Commit()
+}
+
 // load reads an object into the per-transaction cache. forWrite takes the
 // exclusive lock (possibly upgrading).
 func (st *txnState) load(ref Ref, forWrite bool) (*instance, obj.Header, error) {
@@ -669,6 +710,16 @@ func (st *txnState) post(ref Ref, ev event.ID, evArgs []any) error {
 	// (they live in transaction memory, not in the index).
 	if err := st.postLocal(ref, ev, evArgs); err != nil {
 		return err
+	}
+	// A snapshot transaction cannot advance persistent trigger state: it
+	// holds no locks and writes nothing, so FSM advances would be lost at
+	// commit (and the header read below would be the only lock taken).
+	// Local rules above have already seen the event; persistent trigger
+	// processing is suppressed, and the trace records the pinned LSN.
+	if st.tx.IsSnapshot() {
+		db.met.snapshotPosts.Inc()
+		tr.Add(obs.Step{Kind: obs.StepSnapshot, LSN: st.tx.SnapshotLSN()})
+		return nil
 	}
 	h, err := st.header(ref)
 	if err != nil {

@@ -30,6 +30,7 @@ type coreMetrics struct {
 	actionPanics     *obs.Counter
 	detachedRetries  *obs.Counter
 	detachedDropped  *obs.Counter
+	snapshotPosts    *obs.Counter
 
 	postToFireNs         *obs.Histogram
 	fsmAdvanceNs         *obs.Histogram
@@ -52,6 +53,7 @@ func newCoreMetrics(r *obs.Registry) *coreMetrics {
 		actionPanics:     r.Counter("core.action_panics", "count", "trigger actions that panicked (recovered, treated as errors)"),
 		detachedRetries:  r.Counter("core.detached_retries", "count", "detached system transactions re-run after a retryable abort"),
 		detachedDropped:  r.Counter("core.detached_dropped", "count", "detached firings lost for good (permanent error or retry budget exhausted)"),
+		snapshotPosts:    r.Counter("core.snapshot_posts", "count", "events posted inside snapshot transactions: local rules saw them, persistent trigger processing was suppressed"),
 
 		postToFireNs:         r.Histogram("core.post_to_fire_ns", "ns", "event post to action start, per firing (detached firings include the parent's commit wait)"),
 		fsmAdvanceNs:         r.Histogram("core.fsm_advance_ns", "ns", "one trigger-state FSM advance including its mask cascade (§5.4.5 steps a–c)"),
@@ -66,10 +68,12 @@ func newCoreMetrics(r *obs.Registry) *coreMetrics {
 // the struct), it just carries no help line.
 var (
 	txnStatsHelp = map[string]string{
-		"Begun":     "transactions started",
-		"Committed": "transactions committed durably",
-		"Aborted":   "transactions rolled back (explicit, doomed, deadlock victim, failed commit)",
-		"System":    "system transactions begun for detached trigger processing (§5.5)",
+		"Begun":         "transactions started",
+		"Committed":     "transactions committed durably",
+		"Aborted":       "transactions rolled back (explicit, doomed, deadlock victim, failed commit)",
+		"System":        "system transactions begun for detached trigger processing (§5.5)",
+		"Snapshots":     "snapshot (lock-free read-only) transactions begun",
+		"SnapshotReads": "object reads served from a pinned snapshot, bypassing the lock manager",
 	}
 	lockStatsHelp = map[string]string{
 		"Acquisitions": "granted lock requests, including re-entrant grants",
@@ -92,6 +96,17 @@ var (
 		"CommitWaitNs": "total time committers waited for durability (eos only)",
 		"WALHeals":     "sticky WAL sync errors cleared by self-healing truncation (eos only)",
 	}
+	versionStatsHelp = map[string]string{
+		"VersionsLive":         "versions currently held across all chains",
+		"VersionsChains":       "objects with a live version chain",
+		"VersionsChainMax":     "length of the longest current chain",
+		"VersionsAppended":     "versions appended by commit stamping",
+		"VersionsPreimages":    "base pre-images captured on a chain's first stamp",
+		"VersionsTrimmed":      "versions reclaimed by version GC",
+		"VersionsGcRuns":       "version GC sweeps",
+		"VersionsPins":         "distinct snapshot LSNs currently pinned",
+		"VersionsOldestPinLsn": "oldest pinned snapshot LSN (0 = none pinned)",
+	}
 )
 
 // RegisterSubsystems registers the pre-existing per-subsystem Stats
@@ -103,6 +118,12 @@ func RegisterSubsystems(r *obs.Registry, store storage.Manager, tm *txn.Manager,
 	obs.RegisterStats(r, "storage", storageStatsHelp, func() any { return store.Stats() })
 	obs.RegisterStats(r, "txn", txnStatsHelp, func() any { return tm.Stats() })
 	obs.RegisterStats(r, "lock", lockStatsHelp, func() any { return lm.Stats() })
+	if v, ok := store.(storage.Versioned); ok {
+		// The version-store gauges live under the object-manager prefix:
+		// they describe what versions of objects snapshot readers can see.
+		obs.RegisterStats(r, "obj", versionStatsHelp, func() any { return v.VersionStats() })
+		r.Func("txn.snapshot_lsn", "lsn", "commit LSN a snapshot transaction begun now would pin", v.SnapshotLSN)
+	}
 }
 
 // Observability returns the database's metric registry: the trigger

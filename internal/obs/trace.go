@@ -34,6 +34,11 @@ const (
 	StepActionStart = "action_start"
 	// StepActionEnd closes a StepActionStart bracket.
 	StepActionEnd = "action_end"
+	// StepSnapshot records a posting made inside a snapshot (lock-free
+	// read-only) transaction: local rules saw the event, persistent
+	// trigger processing was suppressed (a snapshot cannot advance
+	// persistent FSM state), and LSN carries the pinned snapshot LSN.
+	StepSnapshot = "snapshot"
 )
 
 // Step is one recorded event within a firing trace. TNs is the offset in
@@ -54,6 +59,9 @@ type Step struct {
 	// the accepted composite pattern — for a pattern half-matched before
 	// a failover, that is the *primary-side* originating event.
 	Cause string `json:"cause,omitempty"`
+	// LSN, on a snapshot step, is the pinned snapshot LSN the posting
+	// transaction reads as-of.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // Trace is one sampled posting and the trigger firings it produced. A

@@ -51,6 +51,11 @@ type Status struct {
 	// recently applied commit record ("" before the first annotated
 	// commit): which primary event this replica last acted on.
 	LastCause string `json:"last_cause,omitempty"`
+	// SnapshotLSN is the local store's durable commit LSN — the
+	// as-of point a snapshot transaction begun on this replica now
+	// would pin. It advances as replicated batches apply, so clients
+	// can correlate replica snapshot reads with the primary's history.
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
 }
 
 // Replica follows a primary: it subscribes from its last durable
@@ -174,14 +179,15 @@ func (r *Replica) WaitCaughtUp(timeout time.Duration) error {
 func (r *Replica) Status() Status {
 	lastCause, _ := r.lastCause.Load().(string)
 	return Status{
-		Primary:    r.primary,
-		Connected:  r.connected.Load(),
-		AppliedLSN: r.applied.Load(),
-		EndLSN:     r.end.Load(),
-		LagBytes:   r.lag.Load(),
-		Reconnects: r.reconnects.Value(),
-		Promoted:   r.promoted.Load(),
-		LastCause:  lastCause,
+		Primary:     r.primary,
+		Connected:   r.connected.Load(),
+		AppliedLSN:  r.applied.Load(),
+		EndLSN:      r.end.Load(),
+		LagBytes:    r.lag.Load(),
+		Reconnects:  r.reconnects.Value(),
+		Promoted:    r.promoted.Load(),
+		LastCause:   lastCause,
+		SnapshotLSN: r.store.SnapshotLSN(),
 	}
 }
 

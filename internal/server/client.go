@@ -204,6 +204,14 @@ func (c *Client) Begin() error {
 	return err
 }
 
+// BeginSnapshot opens a lock-free read-only snapshot transaction:
+// reads see the store as of the pinned commit LSN, and every mutating
+// op fails with the server's snapshot-write error until Commit/Abort.
+func (c *Client) BeginSnapshot() error {
+	_, err := c.call(&Request{Op: "begin", Snapshot: true})
+	return err
+}
+
 // Commit commits the open transaction.
 func (c *Client) Commit() error {
 	_, err := c.call(&Request{Op: "commit"})

@@ -41,6 +41,14 @@ const MaxTraceRate = 1 << 32
 // (disable), 0 (leave unchanged), nor 1..MaxTraceRate.
 var ErrInvalidTraceRate = errors.New("server: invalid trace rate (want -1 to disable, 0 to leave unchanged, or 1..2^32)")
 
+// ErrSnapshotWrite reports a mutating op sent on a session whose open
+// transaction is a snapshot ({"op":"begin","snapshot":true}): snapshot
+// transactions are read-only by construction. Commit (or abort) and
+// begin a regular transaction. It mirrors core.ErrReadOnly, but unlike
+// the replica gate there is no redirect — the same server accepts the
+// write on a regular transaction.
+var ErrSnapshotWrite = errors.New("server: transaction is a snapshot (read-only); begin a regular transaction for writes")
+
 // Request is one client command.
 type Request struct {
 	Op      string          `json:"op"`
@@ -55,6 +63,10 @@ type Request struct {
 	Value   json.RawMessage `json:"value,omitempty"` // object payload for create
 	Rate    int64           `json:"rate,omitempty"`  // trace op: >0 sets 1-in-n sampling, <0 disables, 0 leaves unchanged
 	LSN     uint64          `json:"lsn,omitempty"`   // stream ops: resume position (repl.subscribe)
+	// Snapshot, on begin, opens a lock-free read-only snapshot
+	// transaction instead of a regular one; mutating ops on the session
+	// then fail with ErrSnapshotWrite until commit/abort.
+	Snapshot bool `json:"snapshot,omitempty"`
 }
 
 // Response is the server's reply.
@@ -291,6 +303,12 @@ func (s *Server) serve(conn net.Conn) {
 
 func (sess *session) fail(err error) *Response {
 	r := &Response{Error: err.Error()}
+	if errors.Is(err, core.ErrSnapshotWrite) {
+		// One wire message for every snapshot-write rejection, whether
+		// the session gate caught it (needWriteTx) or the engine did
+		// (invoke of a mutating method).
+		r.Error = ErrSnapshotWrite.Error()
+	}
 	if errors.Is(err, txn.ErrAborted) {
 		r.Aborted = true
 	}
@@ -337,6 +355,14 @@ func (sess *session) handle(req *Request) *Response {
 		if sess.tx != nil && sess.tx.State() == txn.Active {
 			return sess.fail(errors.New("transaction already open"))
 		}
+		if req.Snapshot {
+			tx, err := sess.db.BeginSnapshot()
+			if err != nil {
+				return sess.fail(err)
+			}
+			sess.tx = tx
+			return &Response{OK: true}
+		}
 		sess.tx = sess.db.Begin()
 		return &Response{OK: true}
 	case "commit":
@@ -360,7 +386,7 @@ func (sess *session) handle(req *Request) *Response {
 		}
 		return &Response{OK: true}
 	case "create":
-		if err := sess.needTx(); err != nil {
+		if err := sess.needWriteTx(); err != nil {
 			return sess.fail(err)
 		}
 		bc, ok := sess.db.ClassOf(req.Class)
@@ -401,7 +427,7 @@ func (sess *session) handle(req *Request) *Response {
 		}
 		return &Response{OK: true, Result: ret}
 	case "post":
-		if err := sess.needTx(); err != nil {
+		if err := sess.needWriteTx(); err != nil {
 			return sess.fail(err)
 		}
 		if err := sess.db.PostUserEvent(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Event); err != nil {
@@ -409,7 +435,7 @@ func (sess *session) handle(req *Request) *Response {
 		}
 		return &Response{OK: true}
 	case "activate":
-		if err := sess.needTx(); err != nil {
+		if err := sess.needWriteTx(); err != nil {
 			return sess.fail(err)
 		}
 		id, err := sess.db.Activate(sess.tx, core.RefFromOID(storage.OID(req.Ref)), req.Trigger, req.Args...)
@@ -418,7 +444,7 @@ func (sess *session) handle(req *Request) *Response {
 		}
 		return &Response{OK: true, ID: uint64(id.OID())}
 	case "deactivate":
-		if err := sess.needTx(); err != nil {
+		if err := sess.needWriteTx(); err != nil {
 			return sess.fail(err)
 		}
 		id := core.TriggerIDFromOID(storage.OID(req.ID))
@@ -440,7 +466,7 @@ func (sess *session) handle(req *Request) *Response {
 		}
 		return &Response{OK: true, Value: raw}
 	case "clusteradd":
-		if err := sess.needTx(); err != nil {
+		if err := sess.needWriteTx(); err != nil {
 			return sess.fail(err)
 		}
 		if err := sess.db.ClusterAdd(sess.tx, req.Cluster, core.RefFromOID(storage.OID(req.Ref))); err != nil {
@@ -493,6 +519,21 @@ func (sess *session) handle(req *Request) *Response {
 func (sess *session) needTx() error {
 	if sess.tx == nil || sess.tx.State() != txn.Active {
 		return errors.New("no open transaction (send begin first)")
+	}
+	return nil
+}
+
+// needWriteTx is needTx plus the snapshot gate: mutating ops are
+// rejected up front on a snapshot session with the typed error, rather
+// than leaking the txn-layer refusal from deeper in the call. (invoke is
+// not gated here — read-only methods are legal on a snapshot, and the
+// engine rejects mutators itself.)
+func (sess *session) needWriteTx() error {
+	if err := sess.needTx(); err != nil {
+		return err
+	}
+	if sess.tx.IsSnapshot() {
+		return ErrSnapshotWrite
 	}
 	return nil
 }

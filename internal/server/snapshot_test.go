@@ -1,0 +1,115 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSnapshotSessionOverWire: a snapshot begin serves reads as of its
+// pinned LSN, and every mutating op on the session fails with the typed
+// snapshot-write error until the transaction ends.
+func TestSnapshotSessionOverWire(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+
+	// Seed a card.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Create("CredCard", &CredCard{Holder: "snap", CredLim: 1000, GoodHist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads pass.
+	var card CredCard
+	if err := c.Get(ref, &card); err != nil {
+		t.Fatalf("Get on snapshot session: %v", err)
+	}
+	if card.Holder != "snap" {
+		t.Fatalf("card = %+v", card)
+	}
+	// Mutators fail with the typed error's message over the wire.
+	wantMsg := ErrSnapshotWrite.Error()
+	if _, err := c.Create("CredCard", &CredCard{}); err == nil || !strings.Contains(err.Error(), wantMsg) {
+		t.Errorf("Create on snapshot = %v, want %q", err, wantMsg)
+	}
+	if _, err := c.Invoke(ref, "Buy", 10); err == nil || !strings.Contains(err.Error(), wantMsg) {
+		t.Errorf("Invoke(mutator) on snapshot = %v, want %q", err, wantMsg)
+	}
+	if _, err := c.Activate(ref, "DenyCredit"); err == nil || !strings.Contains(err.Error(), wantMsg) {
+		t.Errorf("Activate on snapshot = %v, want %q", err, wantMsg)
+	}
+	if err := c.ClusterAdd("cards", ref); err == nil || !strings.Contains(err.Error(), wantMsg) {
+		t.Errorf("ClusterAdd on snapshot = %v, want %q", err, wantMsg)
+	}
+	// The rejections left the snapshot usable; commit ends it cleanly.
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A regular transaction on the same session can write again.
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(ref, "Buy", 10); err != nil {
+		t.Fatalf("Buy after snapshot ended: %v", err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotSessionIsolation: a snapshot session keeps reading its
+// pinned state while another connection commits new writes.
+func TestSnapshotSessionIsolation(t *testing.T) {
+	addr := startServer(t)
+	reader := dial(t, addr)
+	writer := dial(t, addr)
+
+	writer.Begin()
+	ref, err := writer.Create("CredCard", &CredCard{CredLim: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := reader.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	writer.Begin()
+	if _, err := writer.Invoke(ref, "Buy", 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var card CredCard
+	if err := reader.Get(ref, &card); err != nil {
+		t.Fatal(err)
+	}
+	if card.CurrBal != 0 {
+		t.Fatalf("snapshot read CurrBal = %v, want 0 (pinned before the Buy)", card.CurrBal)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	reader.Begin()
+	if err := reader.Get(ref, &card); err != nil {
+		t.Fatal(err)
+	}
+	reader.Abort()
+	if card.CurrBal != 250 {
+		t.Fatalf("post-snapshot read CurrBal = %v, want 250", card.CurrBal)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"ode/internal/storage"
+	"ode/internal/storage/vstore"
 )
 
 // Manager is the main-memory storage manager.
@@ -31,6 +32,13 @@ type Manager struct {
 	objects map[storage.OID][]byte
 	nextOID storage.OID
 	stats   storage.Stats
+	// commitLSN numbers ApplyCommit batches (there is no WAL, so the
+	// commit ordinal is the store's LSN); versions holds the
+	// commit-LSN-stamped chains behind storage.Versioned. Both are
+	// guarded by mu: written under the exclusive lock, and vstore
+	// lookups (pure reads) run under the shared lock.
+	commitLSN uint64
+	versions  *vstore.Store
 	// reads is kept out of stats (which mu guards) so the read path
 	// needs only the shared lock — reads never serialize behind commits,
 	// mirroring the eos commit/read decoupling.
@@ -43,7 +51,7 @@ type Manager struct {
 
 // New returns an empty, purely volatile manager.
 func New() *Manager {
-	return &Manager{objects: make(map[storage.OID][]byte), nextOID: 1}
+	return &Manager{objects: make(map[storage.OID][]byte), nextOID: 1, versions: vstore.New()}
 }
 
 // Open returns a manager that loads from — and checkpoints to — the
@@ -115,6 +123,13 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 	defer m.mu.Unlock()
 	if m.closed {
 		return errClosed
+	}
+	if len(ops) > 0 {
+		m.commitLSN++
+		m.versions.Stamp(m.commitLSN, ops, func(oid storage.OID) ([]byte, bool) {
+			img, ok := m.objects[oid]
+			return img, ok
+		})
 	}
 	for _, op := range ops {
 		switch op.Kind {
@@ -259,6 +274,88 @@ func (m *Manager) loadSnapshot(r io.Reader) error {
 		}
 		m.objects[oid] = data
 	}
+}
+
+// --- MVCC surface (storage.Versioned) ---------------------------------------
+
+var _ storage.Versioned = (*Manager)(nil)
+
+// SnapshotLSN implements storage.Versioned.
+func (m *Manager) SnapshotLSN() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.versions.Durable()
+}
+
+// PinSnapshot implements storage.Versioned.
+func (m *Manager) PinSnapshot() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.versions.Pin()
+}
+
+// UnpinSnapshot implements storage.Versioned.
+func (m *Manager) UnpinSnapshot(lsn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.versions.Unpin(lsn)
+}
+
+// ReadAt implements storage.Versioned. Like Read it takes only the
+// shared lock: version lookups are pure reads, and stamping happens
+// inside ApplyCommit's exclusive section.
+func (m *Manager) ReadAt(oid storage.OID, lsn uint64) ([]byte, error) {
+	m.mu.RLock()
+	if m.closed {
+		m.mu.RUnlock()
+		return nil, errClosed
+	}
+	if data, live, resolved := m.versions.Lookup(oid, lsn); resolved {
+		m.mu.RUnlock()
+		if !live {
+			return nil, fmt.Errorf("%w: oid %d as of lsn %d", storage.ErrNotFound, oid, lsn)
+		}
+		m.reads.Add(1)
+		return data, nil
+	}
+	data, ok := m.objects[oid]
+	if !ok {
+		m.mu.RUnlock()
+		return nil, fmt.Errorf("%w: oid %d", storage.ErrNotFound, oid)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	m.mu.RUnlock()
+	m.reads.Add(1)
+	return out, nil
+}
+
+// ExistsAt implements storage.Versioned.
+func (m *Manager) ExistsAt(oid storage.OID, lsn uint64) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return false
+	}
+	if _, live, resolved := m.versions.Lookup(oid, lsn); resolved {
+		return live
+	}
+	_, ok := m.objects[oid]
+	return ok
+}
+
+// VersionStats implements storage.Versioned.
+func (m *Manager) VersionStats() storage.VersionStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.versions.Stats()
+}
+
+// GCVersions implements storage.Versioned.
+func (m *Manager) GCVersions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.versions.GC()
 }
 
 // Stats implements storage.Manager.

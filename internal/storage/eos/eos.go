@@ -36,6 +36,7 @@ import (
 
 	"ode/internal/obs"
 	"ode/internal/storage"
+	"ode/internal/storage/vstore"
 	"ode/internal/wal"
 )
 
@@ -59,6 +60,7 @@ type loc struct {
 // All fields are written under mu after enqueue.
 type applyEntry struct {
 	seq  uint64
+	lsn  uint64 // commit LSN (WAL position) stamped onto versions
 	ops  []storage.Op
 	skip bool  // durability failed: consume the sequence, apply nothing
 	err  error // apply error, for the owning committer (set by the drainer)
@@ -105,6 +107,12 @@ type Manager struct {
 	freeSpace map[uint32]int // slotted page -> free bytes
 	freePages []uint32
 	nextOID   storage.OID
+
+	// versions holds the commit-LSN-stamped version chains behind
+	// storage.Versioned. Externally synchronized: every access is under
+	// mu, with stamping done in drainQueueLocked (log order) so the
+	// chains always equal a replay of the applied prefix.
+	versions *vstore.Store
 
 	stats storage.Stats
 	// closed and readOnly are written with both seqMu and mu held, so
@@ -215,6 +223,7 @@ func Open(path string, opts Options) (*Manager, error) {
 		freeSpace:  make(map[uint32]int),
 		nextOID:    1,
 		noAutoCkpt: opts.NoAutoCheckpoint,
+		versions:   vstore.New(),
 	}
 	m.applyCond = sync.NewCond(&m.mu)
 	size, err := f.Seek(0, io.SeekEnd)
@@ -270,6 +279,10 @@ func Open(path string, opts Options) (*Manager, error) {
 		f.Close()
 		return nil, err
 	}
+	// Recovery replays straight into the pool without stamping (the
+	// replayed state is the oldest state any snapshot can see), so the
+	// version store starts empty at the log's current end.
+	m.versions.SetDurable(uint64(m.log.End()))
 	return m, nil
 }
 
@@ -628,7 +641,7 @@ func (m *Manager) applyCommit(txn uint64, ops []storage.Op, replicated bool) err
 		m.seqMu.Unlock()
 		return err
 	}
-	e := &applyEntry{seq: m.nextSeq, ops: ops}
+	e := &applyEntry{seq: m.nextSeq, lsn: uint64(target), ops: ops}
 	m.nextSeq++
 	m.mu.Lock()
 	m.applyQueue = append(m.applyQueue, e)
@@ -719,6 +732,10 @@ func (m *Manager) drainQueueLocked(upTo uint64) {
 		m.applyQueue[0] = nil
 		m.applyQueue = m.applyQueue[1:]
 		if !q.skip {
+			// Stamp versions before mutating the pool: the chain's first
+			// stamp captures the current base image as the pre-image, so
+			// snapshots pinned below q.lsn keep resolving.
+			m.versions.Stamp(q.lsn, q.ops, m.preImageLocked)
 			for _, op := range q.ops {
 				if q.err = m.applyOp(op); q.err != nil {
 					break
@@ -728,6 +745,20 @@ func (m *Manager) drainQueueLocked(upTo uint64) {
 		m.appliedSeq++
 	}
 	m.applyCond.Broadcast()
+}
+
+// preImageLocked returns oid's current committed base image for the
+// version store's first-stamp pre-image capture. Caller holds mu.
+func (m *Manager) preImageLocked(oid storage.OID) ([]byte, bool) {
+	l, ok := m.dir[oid]
+	if !ok {
+		return nil, false
+	}
+	data, err := m.readLoc(l)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
 }
 
 func (m *Manager) applyOp(op storage.Op) error {
@@ -1152,6 +1183,89 @@ func (m *Manager) Close() error {
 	return fErr
 }
 
+// --- MVCC surface (storage.Versioned) ---------------------------------------
+
+var _ storage.Versioned = (*Manager)(nil)
+
+// SnapshotLSN implements storage.Versioned: the newest commit LSN whose
+// effects are fully applied to the pool. On a replica this is the last
+// applied replicated commit, so snapshots are consistent-as-of-that-LSN.
+func (m *Manager) SnapshotLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.versions.Durable()
+}
+
+// PinSnapshot implements storage.Versioned.
+func (m *Manager) PinSnapshot() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.versions.Pin()
+}
+
+// UnpinSnapshot implements storage.Versioned.
+func (m *Manager) UnpinSnapshot(lsn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.versions.Unpin(lsn)
+}
+
+// ReadAt implements storage.Versioned: the committed image of oid as of
+// lsn. Like Read it takes only the pool lock — never seqMu — so snapshot
+// reads proceed while committers wait on fsyncs; stamping happens in the
+// same critical section as pool application, so a reader always sees
+// chain and base in agreement.
+func (m *Manager) ReadAt(oid storage.OID, lsn uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	if data, live, resolved := m.versions.Lookup(oid, lsn); resolved {
+		if !live {
+			return nil, fmt.Errorf("%w: oid %d as of lsn %d", storage.ErrNotFound, oid, lsn)
+		}
+		m.stats.Reads++
+		return data, nil
+	}
+	// No chain: the object has not changed since its chain was trimmed
+	// (or ever), so the base image is the image as of lsn.
+	l, ok := m.dir[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: oid %d", storage.ErrNotFound, oid)
+	}
+	m.stats.Reads++
+	return m.readLoc(l)
+}
+
+// ExistsAt implements storage.Versioned.
+func (m *Manager) ExistsAt(oid storage.OID, lsn uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	if _, live, resolved := m.versions.Lookup(oid, lsn); resolved {
+		return live
+	}
+	_, ok := m.dir[oid]
+	return ok
+}
+
+// VersionStats implements storage.Versioned.
+func (m *Manager) VersionStats() storage.VersionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.versions.Stats()
+}
+
+// GCVersions implements storage.Versioned.
+func (m *Manager) GCVersions() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.versions.GC()
+}
+
 // --- replication surface ----------------------------------------------------
 
 // SnapObject is one object image in a store snapshot.
@@ -1222,6 +1336,9 @@ func (m *Manager) ImportSnapshot(nextOID storage.OID, objs []SnapObject) error {
 	if nextOID > m.nextOID {
 		m.nextOID = nextOID
 	}
+	// The imported state replaces all history; old version chains (and
+	// any stale pins — a bootstrap discards open snapshots) go with it.
+	m.versions.Reset(uint64(m.log.End()))
 	return m.checkpointLocked()
 }
 

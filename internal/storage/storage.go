@@ -87,6 +87,53 @@ type Stats struct {
 	WALTruncatedBytes uint64 // log bytes reclaimed by checkpoint truncation
 }
 
+// VersionStats counts multi-version (MVCC) activity in a Versioned
+// manager. Field names surface as obj.versions_* metrics via
+// obs.RegisterStats.
+type VersionStats struct {
+	VersionsLive         uint64 // versions currently retained across all chains
+	VersionsChains       uint64 // objects with a non-empty version chain
+	VersionsChainMax     uint64 // longest current chain
+	VersionsAppended     uint64 // versions stamped by committed writes
+	VersionsPreimages    uint64 // pre-images captured on first write
+	VersionsTrimmed      uint64 // versions reclaimed by GC
+	VersionsGcRuns       uint64 // GC passes (auto + explicit)
+	VersionsPins         uint64 // snapshots currently pinned
+	VersionsOldestPinLsn uint64 // oldest pinned snapshot LSN (0 = none)
+}
+
+// Versioned is the optional MVCC extension of Manager. A manager that
+// implements it stamps every committed write with its commit LSN and can
+// serve reads as of any pinned LSN without coordination with the lock
+// manager — the substrate for txn.BeginSnapshot.
+type Versioned interface {
+	// SnapshotLSN returns the newest commit LSN a snapshot taken now
+	// would observe (the durable, fully applied prefix).
+	SnapshotLSN() uint64
+
+	// PinSnapshot pins the current SnapshotLSN against version GC and
+	// returns it. Every pin must be paired with one UnpinSnapshot.
+	PinSnapshot() uint64
+
+	// UnpinSnapshot releases a pin taken by PinSnapshot.
+	UnpinSnapshot(lsn uint64)
+
+	// ReadAt returns the committed image of oid as of lsn (the newest
+	// version ≤ lsn). It returns ErrNotFound if the object did not
+	// exist — or had been freed — at that point.
+	ReadAt(oid OID, lsn uint64) ([]byte, error)
+
+	// ExistsAt reports whether oid had a committed image as of lsn.
+	ExistsAt(oid OID, lsn uint64) bool
+
+	// VersionStats returns a snapshot of version-chain counters.
+	VersionStats() VersionStats
+
+	// GCVersions trims versions unreachable by every pinned snapshot
+	// and returns how many were reclaimed.
+	GCVersions() uint64
+}
+
 // Manager is the storage-manager seam shared by eos and dali.
 type Manager interface {
 	// Name identifies the implementation ("eos" or "dali").

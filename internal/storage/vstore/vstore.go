@@ -1,0 +1,237 @@
+// Package vstore keeps commit-LSN-stamped version chains for a storage
+// manager — the substrate behind storage.Versioned. Each committed write
+// of an object appends a (commitLSN, image) version; a snapshot reader
+// asks for the newest version ≤ its pinned LSN and never coordinates
+// with the lock manager.
+//
+// The store is externally synchronized: the owning manager guards every
+// call with its own mutex (eos under Manager.mu, dali under the RWMutex
+// that already serializes ApplyCommit against Read). Keeping vstore
+// lock-free makes the stamping cost visible at the call site and avoids
+// a second lock order.
+//
+// Retention: a chain's first stamp captures the object's current base
+// image as a pre-image version with LSN 0, so snapshots pinned before
+// the first versioned write still resolve. GC trims each chain to the
+// newest version ≤ the floor (the oldest pinned snapshot LSN, or the
+// durable LSN when nothing is pinned); a chain whose newest version is
+// at or below the floor is dropped entirely, because the base store
+// already holds that image.
+package vstore
+
+import "ode/internal/storage"
+
+// version is one committed image. data == nil is a tombstone: the
+// object was freed (or had never been created) as of lsn.
+type version struct {
+	lsn  uint64
+	data []byte
+}
+
+// gcEvery bounds how many Stamp calls may pass between automatic GC
+// sweeps, so chains stay short without anyone calling GC explicitly.
+const gcEvery = 64
+
+// Store holds the version chains for one storage manager.
+type Store struct {
+	chains  map[storage.OID][]version
+	durable uint64         // newest fully applied commit LSN
+	pins    map[uint64]int // snapshot LSN → pin count
+	minPin  uint64         // cached oldest pinned LSN (0 = none)
+	stamps  uint64         // Stamp calls since the last auto-GC
+
+	appended  uint64
+	preimages uint64
+	trimmed   uint64
+	gcRuns    uint64
+}
+
+// New returns an empty store with durable LSN 0.
+func New() *Store {
+	return &Store{
+		chains: make(map[storage.OID][]version),
+		pins:   make(map[uint64]int),
+	}
+}
+
+// SetDurable advances the LSN new snapshots pin. The owner calls it
+// after recovery (when the chains are empty but the base store already
+// reflects the log) and after every Stamp batch.
+func (s *Store) SetDurable(lsn uint64) {
+	if lsn > s.durable {
+		s.durable = lsn
+	}
+}
+
+// Durable returns the LSN a snapshot taken now would observe.
+func (s *Store) Durable() uint64 { return s.durable }
+
+// Stamp records one committed batch at lsn. pre returns the object's
+// current base image (and whether it exists) and is consulted once per
+// object, on the chain's first stamp, to capture the pre-image. Stamp
+// also advances the durable LSN and periodically runs GC.
+func (s *Store) Stamp(lsn uint64, ops []storage.Op, pre func(storage.OID) ([]byte, bool)) {
+	for _, op := range ops {
+		ch, ok := s.chains[op.OID]
+		if !ok {
+			if img, exists := pre(op.OID); exists {
+				ch = append(ch, version{lsn: 0, data: cloneBytes(img)})
+			} else {
+				ch = append(ch, version{lsn: 0, data: nil})
+			}
+			s.preimages++
+		}
+		var data []byte
+		if op.Kind == storage.OpWrite {
+			data = cloneBytes(op.Data)
+		}
+		if last := len(ch) - 1; last >= 0 && ch[last].lsn == lsn {
+			// Two writes of the same object in one commit batch:
+			// only the final image is visible at lsn.
+			ch[last].data = data
+		} else {
+			ch = append(ch, version{lsn: lsn, data: data})
+			s.appended++
+		}
+		s.chains[op.OID] = ch
+	}
+	s.SetDurable(lsn)
+	if s.stamps++; s.stamps >= gcEvery {
+		s.stamps = 0
+		s.GC()
+	}
+}
+
+// Lookup resolves oid as of lsn. resolved reports whether the chain
+// answered; when false the caller must fall back to the base store
+// (no chain means the object has not changed since its chains were
+// trimmed — the base image is the right answer for any pinned lsn).
+// When resolved, live reports whether the object existed at lsn.
+func (s *Store) Lookup(oid storage.OID, lsn uint64) (data []byte, live, resolved bool) {
+	ch, ok := s.chains[oid]
+	if !ok {
+		return nil, false, false
+	}
+	// Newest version ≤ lsn. Chains are short (GC keeps them near the
+	// pin window), so a reverse scan beats binary search in practice.
+	for i := len(ch) - 1; i >= 0; i-- {
+		if ch[i].lsn <= lsn {
+			if ch[i].data == nil {
+				return nil, false, true
+			}
+			return cloneBytes(ch[i].data), true, true
+		}
+	}
+	// Every version postdates lsn — only reachable for an unpinned
+	// LSN below the GC floor. Fall back to the base store.
+	return nil, false, false
+}
+
+// Pin pins the current durable LSN and returns it.
+func (s *Store) Pin() uint64 {
+	lsn := s.durable
+	s.pins[lsn]++
+	if s.minPin == 0 || lsn < s.minPin {
+		s.minPin = lsn
+	}
+	return lsn
+}
+
+// Unpin releases one pin at lsn.
+func (s *Store) Unpin(lsn uint64) {
+	n, ok := s.pins[lsn]
+	if !ok {
+		return
+	}
+	if n <= 1 {
+		delete(s.pins, lsn)
+		if lsn == s.minPin {
+			s.minPin = 0
+			for p := range s.pins {
+				if s.minPin == 0 || p < s.minPin {
+					s.minPin = p
+				}
+			}
+		}
+	} else {
+		s.pins[lsn] = n - 1
+	}
+}
+
+// OldestPin returns the oldest pinned snapshot LSN (0 when none).
+func (s *Store) OldestPin() uint64 { return s.minPin }
+
+// GC trims versions below the retention floor and returns how many it
+// reclaimed. No version reachable by a pinned snapshot — the newest
+// version ≤ any pin — is ever trimmed.
+func (s *Store) GC() uint64 {
+	floor := s.durable
+	if s.minPin != 0 && s.minPin < floor {
+		floor = s.minPin
+	}
+	var trimmed uint64
+	for oid, ch := range s.chains {
+		if ch[len(ch)-1].lsn <= floor {
+			// The base store already holds the newest image; nothing
+			// older can be needed by any pin ≥ floor.
+			trimmed += uint64(len(ch))
+			delete(s.chains, oid)
+			continue
+		}
+		// Keep the newest version ≤ floor (a pin at exactly floor
+		// reads it) and everything after.
+		keep := 0
+		for i := len(ch) - 1; i >= 0; i-- {
+			if ch[i].lsn <= floor {
+				keep = i
+				break
+			}
+		}
+		if keep > 0 {
+			trimmed += uint64(keep)
+			s.chains[oid] = append(ch[:0:0], ch[keep:]...)
+		}
+	}
+	s.trimmed += trimmed
+	s.gcRuns++
+	return trimmed
+}
+
+// Reset drops all chains and pins — the owner just replaced its entire
+// state (snapshot import) — and sets the durable LSN.
+func (s *Store) Reset(durable uint64) {
+	s.chains = make(map[storage.OID][]version)
+	s.pins = make(map[uint64]int)
+	s.minPin = 0
+	s.stamps = 0
+	s.durable = durable
+}
+
+// Stats returns a snapshot of chain and GC counters.
+func (s *Store) Stats() storage.VersionStats {
+	st := storage.VersionStats{
+		VersionsChains:       uint64(len(s.chains)),
+		VersionsAppended:     s.appended,
+		VersionsPreimages:    s.preimages,
+		VersionsTrimmed:      s.trimmed,
+		VersionsGcRuns:       s.gcRuns,
+		VersionsPins:         uint64(len(s.pins)),
+		VersionsOldestPinLsn: s.minPin,
+	}
+	for _, ch := range s.chains {
+		st.VersionsLive += uint64(len(ch))
+		if n := uint64(len(ch)); n > st.VersionsChainMax {
+			st.VersionsChainMax = n
+		}
+	}
+	return st
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}

@@ -1,0 +1,231 @@
+package vstore
+
+import (
+	"fmt"
+	"testing"
+
+	"ode/internal/storage"
+)
+
+// base is a trivial pre-image source for Stamp: OID → current image.
+type base map[storage.OID][]byte
+
+func (b base) pre(oid storage.OID) ([]byte, bool) {
+	img, ok := b[oid]
+	return img, ok
+}
+
+func write(oid storage.OID, data string) []storage.Op {
+	return []storage.Op{{Kind: storage.OpWrite, OID: oid, Data: []byte(data)}}
+}
+
+func free(oid storage.OID) []storage.Op {
+	return []storage.Op{{Kind: storage.OpFree, OID: oid}}
+}
+
+// mustLookup asserts a resolved, live version with the given image.
+func mustLookup(t *testing.T, s *Store, oid storage.OID, lsn uint64, want string) {
+	t.Helper()
+	data, live, resolved := s.Lookup(oid, lsn)
+	if !resolved || !live {
+		t.Fatalf("Lookup(%d, %d) live=%v resolved=%v, want a live version", oid, lsn, live, resolved)
+	}
+	if string(data) != want {
+		t.Fatalf("Lookup(%d, %d) = %q, want %q", oid, lsn, data, want)
+	}
+}
+
+func TestChainResolution(t *testing.T) {
+	s := New()
+	b := base{1: []byte("v0")}
+	s.Stamp(10, write(1, "v10"), b.pre)
+	s.Stamp(20, write(1, "v20"), b.pre)
+
+	// The first stamp captured the base image as a pre-image at LSN 0,
+	// so a snapshot pinned before any versioned write still resolves.
+	mustLookup(t, s, 1, 0, "v0")
+	mustLookup(t, s, 1, 9, "v0")
+	mustLookup(t, s, 1, 10, "v10")
+	mustLookup(t, s, 1, 15, "v10")
+	mustLookup(t, s, 1, 20, "v20")
+	mustLookup(t, s, 1, 99, "v20")
+
+	// Unknown OID: unresolved, caller falls back to the base store.
+	if _, _, resolved := s.Lookup(2, 99); resolved {
+		t.Fatal("Lookup of unstamped OID resolved")
+	}
+	if got := s.Durable(); got != 20 {
+		t.Fatalf("Durable() = %d, want 20 (advanced by Stamp)", got)
+	}
+}
+
+func TestPreimageTombstoneForNewObject(t *testing.T) {
+	s := New()
+	b := base{} // OID 7 does not exist before its first commit
+	s.Stamp(5, write(7, "born"), b.pre)
+
+	// Before LSN 5 the object had never been created: resolved but dead.
+	_, live, resolved := s.Lookup(7, 4)
+	if !resolved || live {
+		t.Fatalf("pre-creation Lookup live=%v resolved=%v, want resolved tombstone", live, resolved)
+	}
+	mustLookup(t, s, 7, 5, "born")
+}
+
+func TestFreeIsTombstone(t *testing.T) {
+	s := New()
+	b := base{3: []byte("old")}
+	s.Stamp(10, write(3, "new"), b.pre)
+	s.Stamp(20, free(3), b.pre)
+
+	mustLookup(t, s, 3, 15, "new")
+	_, live, resolved := s.Lookup(3, 25)
+	if !resolved || live {
+		t.Fatalf("post-free Lookup live=%v resolved=%v, want resolved tombstone", live, resolved)
+	}
+}
+
+func TestSameLSNCoalesces(t *testing.T) {
+	s := New()
+	b := base{}
+	// Two writes of one object in one commit batch: only the final
+	// image is visible at that LSN.
+	s.Stamp(10, []storage.Op{
+		{Kind: storage.OpWrite, OID: 1, Data: []byte("first")},
+		{Kind: storage.OpWrite, OID: 1, Data: []byte("second")},
+	}, b.pre)
+	mustLookup(t, s, 1, 10, "second")
+	if st := s.Stats(); st.VersionsLive != 2 { // pre-image + one coalesced version
+		t.Fatalf("VersionsLive = %d, want 2", st.VersionsLive)
+	}
+}
+
+func TestPinUnpinBookkeeping(t *testing.T) {
+	s := New()
+	s.SetDurable(10)
+	a := s.Pin()
+	if a != 10 {
+		t.Fatalf("Pin() = %d, want 10", a)
+	}
+	s.SetDurable(20)
+	b1 := s.Pin()
+	b2 := s.Pin()
+	if b1 != 20 || b2 != 20 {
+		t.Fatalf("Pin() = %d, %d, want 20, 20", b1, b2)
+	}
+	if got := s.OldestPin(); got != 10 {
+		t.Fatalf("OldestPin() = %d, want 10", got)
+	}
+	s.Unpin(a)
+	if got := s.OldestPin(); got != 20 {
+		t.Fatalf("OldestPin() after releasing 10 = %d, want 20", got)
+	}
+	s.Unpin(b1)
+	if got := s.OldestPin(); got != 20 {
+		t.Fatalf("OldestPin() with one pin left at 20 = %d, want 20", got)
+	}
+	s.Unpin(b2)
+	if got := s.OldestPin(); got != 0 {
+		t.Fatalf("OldestPin() with no pins = %d, want 0", got)
+	}
+	// Unpinning an unpinned LSN is a no-op, not a panic.
+	s.Unpin(999)
+}
+
+func TestGCNeverTrimsPinnedReachable(t *testing.T) {
+	s := New()
+	b := base{1: []byte("v0")}
+	s.Stamp(10, write(1, "v10"), b.pre)
+	pin := s.Pin() // pins LSN 10
+	for lsn := uint64(11); lsn <= 200; lsn++ {
+		s.Stamp(lsn, write(1, fmt.Sprintf("v%d", lsn)), b.pre)
+	}
+	// Auto-GC has run several times (gcEvery = 64 < 190 stamps), yet the
+	// version the pin reads — newest ≤ 10 — must have survived.
+	mustLookup(t, s, 1, pin, "v10")
+	if st := s.Stats(); st.VersionsGcRuns == 0 {
+		t.Fatal("auto-GC never ran; the pin-safety claim was not exercised")
+	}
+
+	s.Unpin(pin)
+	s.GC()
+	// With no pins the floor is the durable LSN: the whole chain is at
+	// or below it, so it collapses entirely (the base store holds the
+	// newest image).
+	if st := s.Stats(); st.VersionsChains != 0 {
+		t.Fatalf("VersionsChains = %d after unpinned GC, want 0", st.VersionsChains)
+	}
+	if _, _, resolved := s.Lookup(1, 200); resolved {
+		t.Fatal("trimmed chain still resolves; caller should fall back to base store")
+	}
+}
+
+func TestGCKeepsFloorVersion(t *testing.T) {
+	s := New()
+	b := base{1: []byte("v0")}
+	s.Stamp(10, write(1, "v10"), b.pre)
+	s.Stamp(20, write(1, "v20"), b.pre)
+	s.Stamp(30, write(1, "v30"), b.pre)
+	pin := s.Pin() // 30
+	s.SetDurable(30)
+	s.Stamp(40, write(1, "v40"), b.pre)
+
+	trimmed := s.GC()
+	if trimmed == 0 {
+		t.Fatal("GC trimmed nothing; versions below the floor should go")
+	}
+	// A pin at exactly the floor still reads its version...
+	mustLookup(t, s, 1, pin, "v30")
+	// ...and versions above the floor survive.
+	mustLookup(t, s, 1, 40, "v40")
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	s := New()
+	b := base{}
+	s.Stamp(10, write(1, "abc"), b.pre)
+	data, _, _ := s.Lookup(1, 10)
+	data[0] = 'X'
+	mustLookup(t, s, 1, 10, "abc")
+}
+
+func TestResetDropsEverything(t *testing.T) {
+	s := New()
+	b := base{}
+	s.Stamp(10, write(1, "v10"), b.pre)
+	pin := s.Pin()
+	s.Reset(50)
+	if got := s.Durable(); got != 50 {
+		t.Fatalf("Durable() after Reset = %d, want 50", got)
+	}
+	if got := s.OldestPin(); got != 0 {
+		t.Fatalf("OldestPin() after Reset = %d, want 0 (pins dropped)", got)
+	}
+	if _, _, resolved := s.Lookup(1, pin); resolved {
+		t.Fatal("chain survived Reset")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	b := base{1: []byte("v0")}
+	s.Stamp(10, write(1, "v10"), b.pre)
+	s.Stamp(20, write(1, "v20"), b.pre)
+	s.Stamp(30, write(2, "w30"), b.pre)
+	st := s.Stats()
+	if st.VersionsChains != 2 {
+		t.Errorf("VersionsChains = %d, want 2", st.VersionsChains)
+	}
+	if st.VersionsPreimages != 2 {
+		t.Errorf("VersionsPreimages = %d, want 2", st.VersionsPreimages)
+	}
+	if st.VersionsAppended != 3 {
+		t.Errorf("VersionsAppended = %d, want 3", st.VersionsAppended)
+	}
+	if st.VersionsLive != 5 { // 2 pre-images + 3 appended
+		t.Errorf("VersionsLive = %d, want 5", st.VersionsLive)
+	}
+	if st.VersionsChainMax != 3 { // OID 1: pre-image + two versions
+		t.Errorf("VersionsChainMax = %d, want 3", st.VersionsChainMax)
+	}
+}

@@ -75,14 +75,23 @@ var (
 	// ErrAborted is returned by Commit when the transaction was doomed by
 	// RequestAbort (the trigger language's tabort) or aborted internally.
 	ErrAborted = errors.New("txn: transaction aborted")
+	// ErrSnapshotWrite reports a write (or exclusive lock) attempted in a
+	// snapshot transaction. Snapshot transactions are read-only by
+	// construction; retry the work in a regular transaction.
+	ErrSnapshotWrite = errors.New("txn: snapshot transaction is read-only")
+	// ErrNoVersions reports BeginSnapshot over a storage manager that
+	// does not implement storage.Versioned.
+	ErrNoVersions = errors.New("txn: storage manager keeps no versions (snapshot reads unavailable)")
 )
 
 // Stats counts transaction outcomes.
 type Stats struct {
-	Begun     uint64
-	Committed uint64
-	Aborted   uint64
-	System    uint64 // system transactions begun (§5.5)
+	Begun         uint64
+	Committed     uint64
+	Aborted       uint64
+	System        uint64 // system transactions begun (§5.5)
+	Snapshots     uint64 // snapshot transactions begun
+	SnapshotReads uint64 // reads served from pinned versions, lock-free
 }
 
 // Manager creates and tracks transactions over one storage manager and
@@ -97,6 +106,11 @@ type Manager struct {
 	// group-commit wait, the durability price of one transaction. The
 	// observability layer feeds it into the txn.commit_wait_ns histogram.
 	commitObs atomic.Pointer[func(time.Duration)]
+
+	// snapReads counts lock-free snapshot reads. Kept out of the
+	// mu-guarded stats so the snapshot read path touches no mutex at
+	// all; Stats() merges it in.
+	snapReads atomic.Uint64
 
 	mu    sync.Mutex
 	stats Stats
@@ -136,11 +150,38 @@ func (m *Manager) begin(system bool) *Txn {
 	}
 }
 
+// BeginSnapshot starts a snapshot transaction: a read-only transaction
+// that pins the storage manager's current snapshot LSN and serves every
+// read from the newest version ≤ that LSN — with zero calls into the
+// lock manager, so it can never wait and never deadlock. Writers keep
+// strict 2PL unchanged and never see the snapshot. Returns
+// ErrNoVersions when the store is not versioned.
+func (m *Manager) BeginSnapshot() (*Txn, error) {
+	v, ok := m.store.(storage.Versioned)
+	if !ok {
+		return nil, ErrNoVersions
+	}
+	id := ID(m.nextID.Add(1))
+	m.mu.Lock()
+	m.stats.Begun++
+	m.stats.Snapshots++
+	m.mu.Unlock()
+	return &Txn{
+		id:      id,
+		m:       m,
+		snap:    v,
+		snapLSN: v.PinSnapshot(),
+		pinned:  true,
+	}, nil
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	m.mu.Unlock()
+	st.SnapshotReads = m.snapReads.Load()
+	return st
 }
 
 // SetCommitObserver installs fn to be called with each committed
@@ -172,6 +213,12 @@ type Txn struct {
 	writes map[storage.OID]*writeEntry
 	order  []storage.OID // first-touch order for deterministic batches
 
+	// Snapshot mode (BeginSnapshot): snap serves versioned reads as of
+	// snapLSN; pinned guards the exactly-once unpin at commit/rollback.
+	snap    storage.Versioned
+	snapLSN uint64
+	pinned  bool
+
 	beforeCommit []func(*Txn) error
 	beforeAbort  []func(*Txn)
 	afterCommit  []func()
@@ -189,6 +236,14 @@ func (t *Txn) State() State { return t.state }
 // IsSystem reports whether this is a system transaction.
 func (t *Txn) IsSystem() bool { return t.system }
 
+// IsSnapshot reports whether this is a snapshot (lock-free read-only)
+// transaction.
+func (t *Txn) IsSnapshot() bool { return t.snap != nil }
+
+// SnapshotLSN returns the pinned snapshot LSN (0 for regular
+// transactions).
+func (t *Txn) SnapshotLSN() uint64 { return t.snapLSN }
+
 // Doomed reports whether RequestAbort was called.
 func (t *Txn) Doomed() bool { return t.doomed }
 
@@ -205,6 +260,15 @@ func (t *Txn) LockExclusive(r lock.Resource) error { return t.lock(r, lock.Exclu
 func (t *Txn) lock(r lock.Resource, mode lock.Mode) error {
 	if t.state != Active {
 		return ErrNotActive
+	}
+	if t.snap != nil {
+		// Snapshot transactions read pinned versions: shared locks are
+		// unnecessary (the version can't change) and exclusive ones are
+		// forbidden — zero calls into the lock manager either way.
+		if mode == lock.Exclusive {
+			return ErrSnapshotWrite
+		}
+		return nil
 	}
 	if err := t.m.locks.Lock(lock.TxnID(t.id), r, mode); err != nil {
 		if errors.Is(err, lock.ErrDeadlock) {
@@ -225,6 +289,9 @@ func (t *Txn) NewOID() (storage.OID, error) {
 	if t.state != Active {
 		return storage.InvalidOID, ErrNotActive
 	}
+	if t.snap != nil {
+		return storage.InvalidOID, ErrSnapshotWrite
+	}
 	return t.m.store.ReserveOID()
 }
 
@@ -233,6 +300,13 @@ func (t *Txn) NewOID() (storage.OID, error) {
 func (t *Txn) Read(oid storage.OID) ([]byte, error) {
 	if t.state != Active {
 		return nil, ErrNotActive
+	}
+	if t.snap != nil {
+		data, err := t.snap.ReadAt(oid, t.snapLSN)
+		if err == nil {
+			t.m.snapReads.Add(1)
+		}
+		return data, err
 	}
 	if w, ok := t.writes[oid]; ok {
 		if w.freed {
@@ -250,6 +324,9 @@ func (t *Txn) Exists(oid storage.OID) bool {
 	if t.state != Active {
 		return false
 	}
+	if t.snap != nil {
+		return t.snap.ExistsAt(oid, t.snapLSN)
+	}
 	if w, ok := t.writes[oid]; ok {
 		return !w.freed
 	}
@@ -260,6 +337,9 @@ func (t *Txn) Exists(oid storage.OID) bool {
 func (t *Txn) Write(oid storage.OID, data []byte) error {
 	if t.state != Active {
 		return ErrNotActive
+	}
+	if t.snap != nil {
+		return ErrSnapshotWrite
 	}
 	img := make([]byte, len(data))
 	copy(img, data)
@@ -276,6 +356,9 @@ func (t *Txn) Write(oid storage.OID, data []byte) error {
 func (t *Txn) Free(oid storage.OID) error {
 	if t.state != Active {
 		return ErrNotActive
+	}
+	if t.snap != nil {
+		return ErrSnapshotWrite
 	}
 	if w, ok := t.writes[oid]; ok {
 		w.data, w.freed = nil, true
@@ -348,19 +431,25 @@ func (t *Txn) Commit() error {
 			ops = append(ops, storage.Op{Kind: storage.OpWrite, OID: oid, Data: w.data})
 		}
 	}
-	obsFn := t.m.commitObs.Load()
-	var applyStart time.Time
-	if obsFn != nil {
-		applyStart = time.Now()
-	}
-	if err := t.m.store.ApplyCommit(uint64(t.id), ops); err != nil {
-		t.rollback()
-		return fmt.Errorf("%w: apply: %w", ErrAborted, err)
-	}
-	if obsFn != nil {
-		(*obsFn)(time.Since(applyStart))
+	// A snapshot transaction has an empty write set by construction;
+	// skipping the store call keeps its commit as lock-free as its reads
+	// (no exclusive section, no group-commit queue).
+	if t.snap == nil {
+		obsFn := t.m.commitObs.Load()
+		var applyStart time.Time
+		if obsFn != nil {
+			applyStart = time.Now()
+		}
+		if err := t.m.store.ApplyCommit(uint64(t.id), ops); err != nil {
+			t.rollback()
+			return fmt.Errorf("%w: apply: %w", ErrAborted, err)
+		}
+		if obsFn != nil {
+			(*obsFn)(time.Since(applyStart))
+		}
 	}
 	t.state = Committed
+	t.unpin()
 	t.m.locks.ReleaseAll(lock.TxnID(t.id))
 	t.m.mu.Lock()
 	t.m.stats.Committed++
@@ -369,6 +458,15 @@ func (t *Txn) Commit() error {
 		fn()
 	}
 	return nil
+}
+
+// unpin releases the snapshot pin exactly once, re-enabling version GC
+// below this transaction's LSN.
+func (t *Txn) unpin() {
+	if t.pinned {
+		t.pinned = false
+		t.snap.UnpinSnapshot(t.snapLSN)
+	}
 }
 
 // Abort rolls the transaction back explicitly. Before-abort hooks run
@@ -392,6 +490,7 @@ func (t *Txn) runBeforeAbort() {
 // changes alike), releases locks, and runs the after-abort hooks.
 func (t *Txn) rollback() {
 	t.state = Aborted
+	t.unpin()
 	t.writes = nil
 	t.order = nil
 	t.m.locks.ReleaseAll(lock.TxnID(t.id))

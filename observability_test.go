@@ -31,6 +31,7 @@ func TestObservabilityDocCoverage(t *testing.T) {
 	for _, kind := range []string{
 		obs.StepTransition, obs.StepMask, obs.StepFire,
 		obs.StepCommitWait, obs.StepRetry, obs.StepActionStart, obs.StepActionEnd,
+		obs.StepSnapshot,
 	} {
 		if !strings.Contains(doc, `"`+kind+`"`) {
 			t.Errorf("trace step kind %q is not documented in docs/OBSERVABILITY.md", kind)
@@ -134,6 +135,69 @@ func TestTraceEndToEnd(t *testing.T) {
 	if !sawTransition || !sawMask || !sawFire || !sawStart || !sawEnd {
 		t.Fatalf("trace missing steps (transition=%v mask=%v fire=%v start=%v end=%v): %+v",
 			sawTransition, sawMask, sawFire, sawStart, sawEnd, fired.Steps)
+	}
+}
+
+// TestTraceSnapshotStep: a posting inside a snapshot transaction leaves
+// a "snapshot" step carrying the pinned LSN — the trace says out loud
+// that persistent trigger processing was suppressed.
+func TestTraceSnapshotStep(t *testing.T) {
+	cls := ode.MustClass("Probe",
+		ode.Factory(func() any { return new(Account) }),
+		ode.ReadOnlyMethod("Peek", func(ctx *ode.Ctx, self any, args []any) (any, error) {
+			return self.(*Account).Balance, nil
+		}),
+		ode.Events("after Peek"),
+		ode.Trigger("OnPeek", "after Peek",
+			func(ctx *ode.Ctx, self any, act *ode.Activation) error { return nil },
+			ode.Perpetual()),
+	)
+	db, err := ode.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if err := db.Register(cls); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	ref, err := db.Create(tx, "Probe", &Account{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Activate(tx, ref, "OnPeek"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Tracer().SetRate(1)
+
+	snap, err := db.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Invoke(snap, ref, "Peek"); err != nil {
+		t.Fatal(err)
+	}
+	lsn := snap.SnapshotLSN()
+	if err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	found := false
+	for _, rec := range db.Tracer().Snapshot() {
+		for _, s := range rec.Steps {
+			if s.Kind == obs.StepSnapshot {
+				found = true
+				if s.LSN != lsn {
+					t.Errorf("snapshot step LSN = %d, want pinned %d", s.LSN, lsn)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %q step recorded for a snapshot posting", obs.StepSnapshot)
 	}
 }
 

@@ -137,6 +137,13 @@ var (
 	// ErrReadOnly reports a mutation attempted on a read replica; retry
 	// it against the primary.
 	ErrReadOnly = core.ErrReadOnly
+	// ErrSnapshotWrite reports a write (or exclusive lock) attempted in a
+	// snapshot transaction (Database.BeginSnapshot); rerun the work in a
+	// regular transaction.
+	ErrSnapshotWrite = core.ErrSnapshotWrite
+	// ErrNoVersions reports that the storage manager keeps no version
+	// chains, so snapshot transactions are unavailable.
+	ErrNoVersions = core.ErrNoVersions
 	// ErrUnknownClass, ErrUnknownMethod, ErrUnknownTrigger and
 	// ErrUnknownEvent report schema misuse.
 	ErrUnknownClass   = core.ErrUnknownClass
