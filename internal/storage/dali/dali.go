@@ -124,6 +124,14 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 	if m.closed {
 		return errClosed
 	}
+	// Reject malformed batches before stamping: once a batch is stamped
+	// the apply below must not fail, or chains would record images the
+	// object map never received.
+	for _, op := range ops {
+		if op.Kind != storage.OpWrite && op.Kind != storage.OpFree {
+			return fmt.Errorf("dali: unknown op kind %v", op.Kind)
+		}
+	}
 	if len(ops) > 0 {
 		m.commitLSN++
 		m.versions.Stamp(m.commitLSN, ops, func(oid storage.OID) ([]byte, bool) {
@@ -144,8 +152,6 @@ func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
 		case storage.OpFree:
 			delete(m.objects, op.OID)
 			m.stats.Frees++
-		default:
-			return fmt.Errorf("dali: unknown op kind %v", op.Kind)
 		}
 	}
 	return nil

@@ -205,6 +205,12 @@ type Options struct {
 
 var errClosed = errors.New("eos: manager closed")
 
+// ErrSnapshotsPinned reports an ImportSnapshot attempted while snapshot
+// transactions still pin version-store LSNs. Importing would silently
+// switch those readers to the new state mid-transaction, so the caller
+// (the replication stream) must retry after the snapshots close.
+var ErrSnapshotsPinned = errors.New("eos: snapshots pinned; retry import after readers close")
+
 // Open opens (creating if needed) the store at path. The WAL lives at
 // path+".wal". Recovery runs before Open returns.
 func Open(path string, opts Options) (*Manager, error) {
@@ -732,14 +738,19 @@ func (m *Manager) drainQueueLocked(upTo uint64) {
 		m.applyQueue[0] = nil
 		m.applyQueue = m.applyQueue[1:]
 		if !q.skip {
-			// Stamp versions before mutating the pool: the chain's first
-			// stamp captures the current base image as the pre-image, so
-			// snapshots pinned below q.lsn keep resolving.
-			m.versions.Stamp(q.lsn, q.ops, m.preImageLocked)
+			// Capture pre-images before mutating the pool (the chain's
+			// first stamp needs the image snapshots pinned below q.lsn
+			// still resolve to), but stamp only after every op applied:
+			// a partially applied batch must not leave chains claiming
+			// images at q.lsn that the base pool never reached.
+			pre := m.capturePreImagesLocked(q.ops)
 			for _, op := range q.ops {
 				if q.err = m.applyOp(op); q.err != nil {
 					break
 				}
+			}
+			if q.err == nil {
+				m.versions.Stamp(q.lsn, q.ops, pre)
 			}
 		}
 		m.appliedSeq++
@@ -759,6 +770,36 @@ func (m *Manager) preImageLocked(oid storage.OID) ([]byte, bool) {
 		return nil, false
 	}
 	return data, true
+}
+
+// capturePreImagesLocked reads, before the batch mutates the pool, the
+// base images of every op target that has no version chain yet (the
+// only objects whose first stamp will ask for a pre-image). The
+// returned func feeds those captures to Stamp after the apply. Caller
+// holds mu.
+func (m *Manager) capturePreImagesLocked(ops []storage.Op) func(storage.OID) ([]byte, bool) {
+	type image struct {
+		data   []byte
+		exists bool
+	}
+	var captured map[storage.OID]image
+	for _, op := range ops {
+		if m.versions.HasChain(op.OID) {
+			continue
+		}
+		if _, done := captured[op.OID]; done {
+			continue
+		}
+		if captured == nil {
+			captured = make(map[storage.OID]image)
+		}
+		data, exists := m.preImageLocked(op.OID)
+		captured[op.OID] = image{data: data, exists: exists}
+	}
+	return func(oid storage.OID) ([]byte, bool) {
+		img := captured[oid]
+		return img.data, img.exists
+	}
 }
 
 func (m *Manager) applyOp(op storage.Op) error {
@@ -1317,6 +1358,12 @@ func (m *Manager) ImportSnapshot(nextOID storage.OID, objs []SnapObject) error {
 	if m.closed {
 		return errClosed
 	}
+	if m.versions.Pins() > 0 {
+		// Open snapshot transactions would silently observe the imported
+		// state mid-transaction; make the stream retry instead. A replica
+		// serving long reads converges once those snapshots close.
+		return ErrSnapshotsPinned
+	}
 	m.drainAppliesLocked()
 	m.cache = make(map[uint32]*cached)
 	m.lruHead, m.lruTail, m.lruLen = nil, nil, 0
@@ -1336,8 +1383,9 @@ func (m *Manager) ImportSnapshot(nextOID storage.OID, objs []SnapObject) error {
 	if nextOID > m.nextOID {
 		m.nextOID = nextOID
 	}
-	// The imported state replaces all history; old version chains (and
-	// any stale pins — a bootstrap discards open snapshots) go with it.
+	// The imported state replaces all history; old version chains go
+	// with it. No pins exist (checked above), so no open snapshot can
+	// observe the switch.
 	m.versions.Reset(uint64(m.log.End()))
 	return m.checkpointLocked()
 }

@@ -66,6 +66,57 @@ func TestSnapshotFreeVisibility(t *testing.T) {
 	}
 }
 
+// TestSnapshotPinAtZeroSurvivesGC: a snapshot pinned on a fresh store
+// (durable LSN 0, before any commit) is a real pin — GC must not treat
+// LSN 0 as "nothing pinned" and trim the chains the snapshot needs.
+func TestSnapshotPinAtZeroSurvivesGC(t *testing.T) {
+	m, _ := openTemp(t, Options{})
+	lsn := m.PinSnapshot()
+	if lsn != 0 {
+		t.Fatalf("PinSnapshot() on fresh store = %d, want 0", lsn)
+	}
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("post-snapshot"))
+	m.GCVersions()
+
+	// The object did not exist when the snapshot pinned; its read must
+	// hit the pre-image tombstone, not fall through to the base store.
+	if m.ExistsAt(oid, lsn) {
+		t.Fatal("ExistsAt(pin at 0) = true; GC dropped the chain the pin needs")
+	}
+	if _, err := m.ReadAt(oid, lsn); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("ReadAt(pin at 0) = %v, want ErrNotFound (snapshot-isolation violation)", err)
+	}
+	m.UnpinSnapshot(lsn)
+}
+
+// TestImportSnapshotRejectsWhilePinned: replacing the whole store under
+// an open snapshot transaction would silently switch its reads to the
+// imported state; the import must fail typed instead and succeed once
+// the snapshot closes.
+func TestImportSnapshotRejectsWhilePinned(t *testing.T) {
+	m, _ := openTemp(t, Options{})
+	oid, _ := m.ReserveOID()
+	commitWrite(t, m, 1, oid, []byte("local"))
+
+	lsn := m.PinSnapshot()
+	snap := []SnapObject{{OID: oid, Data: []byte("imported")}}
+	if err := m.ImportSnapshot(oid+1, snap); !errors.Is(err, ErrSnapshotsPinned) {
+		t.Fatalf("ImportSnapshot with open snapshot = %v, want ErrSnapshotsPinned", err)
+	}
+	// The pinned reader still sees its state.
+	if got, err := m.ReadAt(oid, lsn); err != nil || !bytes.Equal(got, []byte("local")) {
+		t.Fatalf("ReadAt after rejected import = %q, %v; want local image", got, err)
+	}
+	m.UnpinSnapshot(lsn)
+	if err := m.ImportSnapshot(oid+1, snap); err != nil {
+		t.Fatalf("ImportSnapshot after unpin = %v", err)
+	}
+	if got, err := m.Read(oid); err != nil || !bytes.Equal(got, []byte("imported")) {
+		t.Fatalf("Read after import = %q, %v; want imported image", got, err)
+	}
+}
+
 // TestSnapshotLSNSurvivesRecovery: after a crash-reopen the version
 // chains are gone (the WAL replay rebuilt the base store only), but the
 // snapshot LSN reflects the recovered log end and reads fall back to the

@@ -37,7 +37,8 @@ type Store struct {
 	chains  map[storage.OID][]version
 	durable uint64         // newest fully applied commit LSN
 	pins    map[uint64]int // snapshot LSN → pin count
-	minPin  uint64         // cached oldest pinned LSN (0 = none)
+	pinned  uint64         // total outstanding pins across all LSNs
+	minPin  uint64         // cached oldest pinned LSN; valid only when len(pins) > 0
 	stamps  uint64         // Stamp calls since the last auto-GC
 
 	appended  uint64
@@ -127,11 +128,14 @@ func (s *Store) Lookup(oid storage.OID, lsn uint64) (data []byte, live, resolved
 	return nil, false, false
 }
 
-// Pin pins the current durable LSN and returns it.
+// Pin pins the current durable LSN and returns it. LSN 0 (a store
+// before its first commit) is pinnable like any other: pin presence is
+// tracked by count, never by a zero-LSN sentinel, so GC respects it.
 func (s *Store) Pin() uint64 {
 	lsn := s.durable
 	s.pins[lsn]++
-	if s.minPin == 0 || lsn < s.minPin {
+	s.pinned++
+	if len(s.pins) == 1 || lsn < s.minPin {
 		s.minPin = lsn
 	}
 	return lsn
@@ -143,14 +147,19 @@ func (s *Store) Unpin(lsn uint64) {
 	if !ok {
 		return
 	}
+	s.pinned--
 	if n <= 1 {
 		delete(s.pins, lsn)
 		if lsn == s.minPin {
-			s.minPin = 0
+			first := true
 			for p := range s.pins {
-				if s.minPin == 0 || p < s.minPin {
+				if first || p < s.minPin {
 					s.minPin = p
+					first = false
 				}
+			}
+			if first {
+				s.minPin = 0 // no pins left
 			}
 		}
 	} else {
@@ -158,15 +167,30 @@ func (s *Store) Unpin(lsn uint64) {
 	}
 }
 
-// OldestPin returns the oldest pinned snapshot LSN (0 when none).
-func (s *Store) OldestPin() uint64 { return s.minPin }
+// OldestPin returns the oldest pinned snapshot LSN and whether any pin
+// exists. A pin at LSN 0 is reported as (0, true), distinct from the
+// no-pins (0, false).
+func (s *Store) OldestPin() (uint64, bool) {
+	return s.minPin, len(s.pins) > 0
+}
+
+// Pins returns the number of outstanding snapshot pins (counting
+// multiple pins at the same LSN individually).
+func (s *Store) Pins() uint64 { return s.pinned }
+
+// HasChain reports whether oid already has a version chain — i.e.
+// whether the next Stamp of oid will need a pre-image.
+func (s *Store) HasChain(oid storage.OID) bool {
+	_, ok := s.chains[oid]
+	return ok
+}
 
 // GC trims versions below the retention floor and returns how many it
 // reclaimed. No version reachable by a pinned snapshot — the newest
 // version ≤ any pin — is ever trimmed.
 func (s *Store) GC() uint64 {
 	floor := s.durable
-	if s.minPin != 0 && s.minPin < floor {
+	if len(s.pins) > 0 && s.minPin < floor {
 		floor = s.minPin
 	}
 	var trimmed uint64
@@ -202,6 +226,7 @@ func (s *Store) GC() uint64 {
 func (s *Store) Reset(durable uint64) {
 	s.chains = make(map[storage.OID][]version)
 	s.pins = make(map[uint64]int)
+	s.pinned = 0
 	s.minPin = 0
 	s.stamps = 0
 	s.durable = durable
@@ -215,7 +240,7 @@ func (s *Store) Stats() storage.VersionStats {
 		VersionsPreimages:    s.preimages,
 		VersionsTrimmed:      s.trimmed,
 		VersionsGcRuns:       s.gcRuns,
-		VersionsPins:         uint64(len(s.pins)),
+		VersionsPins:         s.pinned,
 		VersionsOldestPinLsn: s.minPin,
 	}
 	for _, ch := range s.chains {

@@ -113,23 +113,66 @@ func TestPinUnpinBookkeeping(t *testing.T) {
 	if b1 != 20 || b2 != 20 {
 		t.Fatalf("Pin() = %d, %d, want 20, 20", b1, b2)
 	}
-	if got := s.OldestPin(); got != 10 {
-		t.Fatalf("OldestPin() = %d, want 10", got)
+	if got, ok := s.OldestPin(); !ok || got != 10 {
+		t.Fatalf("OldestPin() = %d, %v, want 10, true", got, ok)
+	}
+	if got := s.Pins(); got != 3 {
+		t.Fatalf("Pins() = %d, want 3", got)
+	}
+	if st := s.Stats(); st.VersionsPins != 3 {
+		t.Fatalf("VersionsPins = %d, want 3 (each snapshot counted, not distinct LSNs)", st.VersionsPins)
 	}
 	s.Unpin(a)
-	if got := s.OldestPin(); got != 20 {
-		t.Fatalf("OldestPin() after releasing 10 = %d, want 20", got)
+	if got, ok := s.OldestPin(); !ok || got != 20 {
+		t.Fatalf("OldestPin() after releasing 10 = %d, %v, want 20, true", got, ok)
 	}
 	s.Unpin(b1)
-	if got := s.OldestPin(); got != 20 {
-		t.Fatalf("OldestPin() with one pin left at 20 = %d, want 20", got)
+	if got, ok := s.OldestPin(); !ok || got != 20 {
+		t.Fatalf("OldestPin() with one pin left at 20 = %d, %v, want 20, true", got, ok)
 	}
 	s.Unpin(b2)
-	if got := s.OldestPin(); got != 0 {
-		t.Fatalf("OldestPin() with no pins = %d, want 0", got)
+	if got, ok := s.OldestPin(); ok || got != 0 {
+		t.Fatalf("OldestPin() with no pins = %d, %v, want 0, false", got, ok)
 	}
-	// Unpinning an unpinned LSN is a no-op, not a panic.
+	// Unpinning an unpinned LSN is a no-op, not a panic — and must not
+	// drive the outstanding-pin count negative.
 	s.Unpin(999)
+	if got := s.Pins(); got != 0 {
+		t.Fatalf("Pins() after no-op Unpin = %d, want 0", got)
+	}
+}
+
+func TestPinAtLSNZeroBlocksGC(t *testing.T) {
+	// Regression: a snapshot pinned at durable LSN 0 (a fresh store
+	// before its first commit) must be honored by GC. The old minPin==0
+	// "no pins" sentinel made such a pin invisible, so GC collapsed the
+	// chain and the snapshot fell through to the base store, observing
+	// post-snapshot data.
+	s := New()
+	pin := s.Pin()
+	if pin != 0 {
+		t.Fatalf("Pin() on fresh store = %d, want 0", pin)
+	}
+	if got, ok := s.OldestPin(); !ok || got != 0 {
+		t.Fatalf("OldestPin() = %d, %v, want 0, true (pinned at 0)", got, ok)
+	}
+	b := base{}
+	s.Stamp(1, write(1, "v1"), b.pre)
+	s.GC()
+	// The pin at 0 must still resolve to the pre-creation tombstone, not
+	// fall back to the base store (which now holds v1).
+	_, live, resolved := s.Lookup(1, pin)
+	if !resolved {
+		t.Fatal("chain trimmed despite pin at LSN 0; snapshot would read post-snapshot data")
+	}
+	if live {
+		t.Fatal("snapshot at LSN 0 sees an object created after it was pinned")
+	}
+	s.Unpin(pin)
+	s.GC()
+	if st := s.Stats(); st.VersionsChains != 0 {
+		t.Fatalf("VersionsChains = %d after unpinned GC, want 0", st.VersionsChains)
+	}
 }
 
 func TestGCNeverTrimsPinnedReachable(t *testing.T) {
@@ -198,8 +241,11 @@ func TestResetDropsEverything(t *testing.T) {
 	if got := s.Durable(); got != 50 {
 		t.Fatalf("Durable() after Reset = %d, want 50", got)
 	}
-	if got := s.OldestPin(); got != 0 {
-		t.Fatalf("OldestPin() after Reset = %d, want 0 (pins dropped)", got)
+	if got, ok := s.OldestPin(); ok || got != 0 {
+		t.Fatalf("OldestPin() after Reset = %d, %v, want 0, false (pins dropped)", got, ok)
+	}
+	if got := s.Pins(); got != 0 {
+		t.Fatalf("Pins() after Reset = %d, want 0", got)
 	}
 	if _, _, resolved := s.Lookup(1, pin); resolved {
 		t.Fatal("chain survived Reset")
