@@ -21,6 +21,7 @@ import (
 	"ode/internal/baseline/sentinel"
 	"ode/internal/event"
 	"ode/internal/eventexpr"
+	"ode/internal/experiments"
 	"ode/internal/fsm"
 	"ode/internal/obs"
 	"ode/internal/repl"
@@ -1029,5 +1030,31 @@ func BenchmarkE19Replication(b *testing.B) {
 			}
 			b.StopTimer()
 		})
+	}
+}
+
+// --- E22: anti-entropy rejoin bytes -------------------------------------------
+
+// BenchmarkE22AntiEntropy measures the downstream bytes an
+// out-of-retained-log replica needs to rejoin via coded-symbol
+// reconciliation, against the snapshot bootstrap it replaces. The
+// snapshot/rejoin byte ratio is machine-independent, so it is what
+// BENCH_antientropy.json commits and CI's bench gate tracks. Run with
+// ODE_BENCH_OUT=BENCH_antientropy.json -bench E22AntiEntropy to
+// regenerate the committed numbers.
+func BenchmarkE22AntiEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.MeasureAntiEntropy(filepath.Join(b.TempDir(), "e22"),
+			1000, []float64{0.01, 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.SnapshotBytes), "snap-bytes")
+		recordBench("e22_antientropy", "snapshot_bytes", float64(m.SnapshotBytes))
+		for _, p := range m.Points {
+			recordBench("e22_antientropy", fmt.Sprintf("rejoin_bytes/drift=%g", p.Fraction), float64(p.RejoinBytes))
+			recordBench("e22_antientropy", fmt.Sprintf("ratio/drift=%g", p.Fraction),
+				float64(m.SnapshotBytes)/float64(p.RejoinBytes))
+		}
 	}
 }

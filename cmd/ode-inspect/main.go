@@ -25,12 +25,20 @@
 //
 //	ode-inspect -flight 127.0.0.1:7047
 //
+// With -verify it runs an anti-entropy divergence audit on a running
+// replica ode-server (the server's "repl.verify" op) and prints the
+// VerifyReport; add -repair to authorize rewriting confirmed-divergent
+// objects in place from the primary's images:
+//
+//	ode-inspect -verify 127.0.0.1:7048 [-repair]
+//
 // Usage:
 //
 //	ode-inspect [-v] file.eos
 //	ode-inspect -traces addr [-rate n]
 //	ode-inspect -repl addr
 //	ode-inspect -flight addr
+//	ode-inspect -verify addr [-repair]
 package main
 
 import (
@@ -62,6 +70,8 @@ func main() {
 	rate := flag.Int64("rate", 0, "with -traces: >0 sets 1-in-n trace sampling on the server, <0 disables it")
 	replAddr := flag.String("repl", "", "fetch replication status as JSON from a running replica ode-server at this address")
 	flightAddr := flag.String("flight", "", "fetch the flight-recorder incident ring as JSON from a running ode-server at this address")
+	verifyAddr := flag.String("verify", "", "run an anti-entropy divergence audit on a running replica ode-server at this address (the server's \"repl.verify\" op)")
+	repair := flag.Bool("repair", false, "with -verify: authorize in-place repair of confirmed divergence")
 	flag.Parse()
 	if *traces != "" {
 		req := map[string]any{"op": "trace"}
@@ -85,8 +95,16 @@ func main() {
 		}
 		return
 	}
+	if *verifyAddr != "" {
+		// Unlike the other fetch modes, a failed audit still carries a
+		// report (which OIDs diverged), so print it before failing.
+		if err := fetchVerify(*verifyAddr, *repair); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]  |  ode-inspect -repl addr  |  ode-inspect -flight addr")
+		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]  |  ode-inspect -repl addr  |  ode-inspect -flight addr  |  ode-inspect -verify addr [-repair]")
 	}
 	store, err := eos.Open(flag.Arg(0), eos.Options{})
 	if err != nil {
@@ -219,6 +237,50 @@ func main() {
 			fmt.Printf("  %-28s %12d %s\n", m.Name, m.Value, m.Unit)
 		}
 	}
+}
+
+// fetchVerify runs the repl.verify op and prints the VerifyReport even
+// when the audit failed (diverged, lagged, repair exhausted): the report
+// is the diagnosis, the error is the verdict.
+func fetchVerify(addr string, repair bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := map[string]any{"op": "repl.verify"}
+	if repair {
+		req["repair"] = true
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return err
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	var resp struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return err
+	}
+	if len(resp.Result) > 0 {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, resp.Result, "", "  "); err != nil {
+			return err
+		}
+		pretty.WriteByte('\n')
+		if _, err := pretty.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if !resp.OK {
+		return fmt.Errorf("server: %s", resp.Error)
+	}
+	return nil
 }
 
 // fetchJSON sends one request to a running ode-server and prints the

@@ -108,6 +108,8 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary ode-server at this address (disk store only)")
 	syncTimeout := flag.Duration("sync-timeout", 30*time.Second, "replica mode: how long to wait for the initial catch-up")
 	readyLag := flag.Uint64("ready-lag", 1<<20, "replica mode: /readyz reports 503 while replication lag exceeds this many bytes (0 disables the check)")
+	verifyEvery := flag.Duration("verify-every", 0, "replica mode: run a standing anti-entropy audit against the primary at this interval (0 disables)")
+	autoRepair := flag.Bool("auto-repair", false, "replica mode: let the standing audit repair confirmed divergence in place")
 	flag.Parse()
 
 	opts := server.Options{
@@ -162,6 +164,26 @@ func main() {
 				log.Println("promoted: now accepting writes")
 				return &server.Response{OK: true, Result: rep.Status()}
 			},
+			"repl.verify": func(req *server.Request) *server.Response {
+				report, err := rep.Verify(repl.VerifyOptions{Repair: req.Repair})
+				if err != nil {
+					return &server.Response{Error: err.Error(), Result: report}
+				}
+				return &server.Response{OK: true, Result: report}
+			},
+		}
+		if *verifyEvery > 0 {
+			go func() {
+				for range time.Tick(*verifyEvery) {
+					report, err := rep.Verify(repl.VerifyOptions{Repair: *autoRepair})
+					switch {
+					case err != nil:
+						log.Printf("anti-entropy audit: %v (report %+v)", err, report)
+					case len(report.Repaired) > 0:
+						log.Printf("anti-entropy audit: repaired %d diverged objects %v", len(report.Repaired), report.Repaired)
+					}
+				}
+			}()
 		}
 		if lagMax := *readyLag; lagMax > 0 {
 			health.SetReadiness("repl_lag", func() error {
@@ -193,7 +215,10 @@ func main() {
 			hub := repl.NewHub(eosStore, repl.HubOptions{})
 			hub.RegisterMetrics(db.Observability())
 			defer hub.Close()
-			opts.StreamOps = map[string]server.StreamHandler{repl.OpSubscribe: hub.HandleSubscribe}
+			opts.StreamOps = map[string]server.StreamHandler{
+				repl.OpSubscribe: hub.HandleSubscribe,
+				repl.OpRecon:     hub.HandleRecon,
+			}
 		}
 	}
 	defer db.Close()

@@ -1,0 +1,73 @@
+package antientropy
+
+// SetDigest is an order-independent fingerprint of an item set: the
+// cardinality plus the wrapping sum and XOR of the item checksums. Two
+// equal sets always produce equal digests; a collision between
+// different sets needs simultaneous sum and xor collisions at matching
+// counts, which the splitmix-mixed checksums make vanishingly unlikely.
+// It is the cheap first step of the digest walk: if roots match, no
+// symbols need to flow at all.
+type SetDigest struct {
+	Count uint64 `json:"n"`
+	Sum   uint64 `json:"s"`
+	Xor   uint64 `json:"x"`
+}
+
+// Add folds one item into the digest.
+func (d *SetDigest) Add(it Item) {
+	h := it.Hash()
+	d.Count++
+	d.Sum += h
+	d.Xor ^= h
+}
+
+// Equal reports whether two digests match.
+func (d SetDigest) Equal(o SetDigest) bool {
+	return d.Count == o.Count && d.Sum == o.Sum && d.Xor == o.Xor
+}
+
+// DigestSet fingerprints a whole item set.
+func DigestSet(items []Item) SetDigest {
+	var d SetDigest
+	for _, it := range items {
+		d.Add(it)
+	}
+	return d
+}
+
+// DigestBuckets partitions the item set into k buckets by the top bits
+// of each item's checksum and fingerprints each bucket. Comparing the
+// bucket vectors of two stores bounds where a difference lives and
+// gives a cheap lower estimate of its size, which seeds the initial
+// coded-symbol batch during reconciliation.
+func DigestBuckets(items []Item, k int) []SetDigest {
+	if k <= 0 {
+		k = 1
+	}
+	out := make([]SetDigest, k)
+	for _, it := range items {
+		h := it.Hash()
+		// Top bits are the best mixed; map them onto [0, k).
+		b := int((h >> 32) * uint64(k) >> 32)
+		out[b].Add(it)
+	}
+	return out
+}
+
+// DiffBuckets counts how many bucket digests differ between two walks
+// of equal width. Mismatched widths count as all-different.
+func DiffBuckets(a, b []SetDigest) int {
+	if len(a) != len(b) {
+		if len(a) > len(b) {
+			return len(a)
+		}
+		return len(b)
+	}
+	n := 0
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			n++
+		}
+	}
+	return n
+}

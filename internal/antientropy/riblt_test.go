@@ -1,0 +1,225 @@
+package antientropy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// synthSet builds n items with deterministic pseudo-random digests.
+func synthSet(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Key: uint64(i + 1), Digest: rng.Uint64()}
+	}
+	return items
+}
+
+// reconcile runs an encoder over remote against a decoder over local
+// and returns the decoded diff plus how many symbols it took.
+func reconcile(t *testing.T, remote, local []Item, budget int) (remoteOnly, localOnly []Item, used int) {
+	t.Helper()
+	enc := NewEncoder(remote)
+	dec := NewDecoder(local)
+	for i := 0; i < budget; i++ {
+		dec.AddSymbol(enc.Next())
+		used++
+		if dec.Decoded() {
+			ro, lo := dec.Diff()
+			return ro, lo, used
+		}
+	}
+	t.Fatalf("did not decode within %d symbols", budget)
+	return nil, nil, used
+}
+
+func asMap(items []Item) map[uint64]uint64 {
+	m := make(map[uint64]uint64, len(items))
+	for _, it := range items {
+		m[it.Key] = it.Digest
+	}
+	return m
+}
+
+func TestReconcileIdenticalSets(t *testing.T) {
+	base := synthSet(500, 1)
+	ro, lo, used := reconcile(t, base, base, 8)
+	if len(ro) != 0 || len(lo) != 0 {
+		t.Fatalf("identical sets decoded diff: remote=%d local=%d", len(ro), len(lo))
+	}
+	if used != 1 {
+		t.Fatalf("identical sets took %d symbols, want 1", used)
+	}
+}
+
+func TestReconcileEmptySides(t *testing.T) {
+	base := synthSet(40, 2)
+	// Remote has everything, local empty: pure bootstrap.
+	ro, lo, _ := reconcile(t, base, nil, 4096)
+	if len(ro) != len(base) || len(lo) != 0 {
+		t.Fatalf("remote-only decode got %d/%d", len(ro), len(lo))
+	}
+	// Local has everything, remote empty.
+	ro, lo, _ = reconcile(t, nil, base, 4096)
+	if len(ro) != 0 || len(lo) != len(base) {
+		t.Fatalf("local-only decode got %d/%d", len(ro), len(lo))
+	}
+}
+
+// TestReconcileDiffs checks exact diff recovery across a grid of set
+// sizes, diff sizes, and seeds: creations (remote-only), deletions
+// (local-only), and modifications (one of each sharing an OID).
+func TestReconcileDiffs(t *testing.T) {
+	for _, n := range []int{10, 200, 2000} {
+		for _, d := range []int{1, 3, 17, 64} {
+			if d*3 > n {
+				continue
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				t.Run(fmt.Sprintf("n%d_d%d_s%d", n, d, seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed*7919 + int64(n+d)))
+					remote := synthSet(n, seed)
+					local := make([]Item, len(remote))
+					copy(local, remote)
+
+					wantRemote := map[Item]bool{}
+					wantLocal := map[Item]bool{}
+					// d modifications: local holds a stale digest.
+					for i := 0; i < d; i++ {
+						stale := Item{Key: local[i].Key, Digest: rng.Uint64()}
+						wantRemote[local[i]] = true
+						wantLocal[stale] = true
+						local[i] = stale
+					}
+					// d creations missing locally.
+					local = local[:len(local)-d]
+					for _, it := range remote[len(remote)-d:] {
+						wantRemote[it] = true
+					}
+					// d deletions present only locally.
+					for i := 0; i < d; i++ {
+						extra := Item{Key: uint64(n + 1000 + i), Digest: rng.Uint64()}
+						local = append(local, extra)
+						wantLocal[extra] = true
+					}
+
+					ro, lo, used := reconcile(t, remote, local, 64*(3*d)+128)
+					if len(ro) != len(wantRemote) || len(lo) != len(wantLocal) {
+						t.Fatalf("diff sizes: remote %d want %d, local %d want %d",
+							len(ro), len(wantRemote), len(lo), len(wantLocal))
+					}
+					for _, it := range ro {
+						if !wantRemote[it] {
+							t.Fatalf("unexpected remote-only item %+v", it)
+						}
+					}
+					for _, it := range lo {
+						if !wantLocal[it] {
+							t.Fatalf("unexpected local-only item %+v", it)
+						}
+					}
+					// Rateless promise: symbols consumed track the diff
+					// (3d), not the set size n. Allow generous slack for
+					// small diffs where the constant dominates.
+					if d >= 16 && used > 6*3*d {
+						t.Fatalf("used %d symbols for diff %d (overhead %.2fx)", used, 3*d, float64(used)/float64(3*d))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestReconcileOverheadRatio pins the headline property: for a fixed
+// moderate diff the symbol count stays flat as the set size grows 100x.
+func TestReconcileOverheadRatio(t *testing.T) {
+	const d = 32
+	usedAt := func(n int) int {
+		remote := synthSet(n, 9)
+		local := make([]Item, len(remote)-d)
+		copy(local, remote[:len(remote)-d])
+		_, _, used := reconcile(t, remote, local, 64*d+256)
+		return used
+	}
+	small, large := usedAt(500), usedAt(50000)
+	if large > 4*small+64 {
+		t.Fatalf("symbol count scaled with set size: n=500 used %d, n=50000 used %d", small, large)
+	}
+}
+
+func TestSetDigestWalk(t *testing.T) {
+	a := synthSet(1000, 3)
+	b := make([]Item, len(a))
+	copy(b, a)
+
+	if !DigestSet(a).Equal(DigestSet(b)) {
+		t.Fatal("equal sets digest unequal")
+	}
+	// Order independence.
+	rand.New(rand.NewSource(4)).Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	if !DigestSet(a).Equal(DigestSet(b)) {
+		t.Fatal("digest is order-dependent")
+	}
+
+	b[17].Digest ^= 1
+	if DigestSet(a).Equal(DigestSet(b)) {
+		t.Fatal("single-bit object change not caught by root digest")
+	}
+	ba, bb := DigestBuckets(a, 16), DigestBuckets(b, 16)
+	if got := DiffBuckets(ba, bb); got < 1 || got > 2 {
+		// One item changed digest: it leaves one bucket and enters
+		// another (possibly the same one).
+		t.Fatalf("DiffBuckets = %d, want 1 or 2", got)
+	}
+	if DiffBuckets(DigestBuckets(a, 16), DigestBuckets(a, 8)) != 16 {
+		t.Fatal("mismatched widths must count as all-different")
+	}
+}
+
+func TestDigestFNV(t *testing.T) {
+	// FNV-1a 64 known-answer vectors.
+	if got := Digest(nil); got != 14695981039346656037 {
+		t.Fatalf("Digest(nil) = %d", got)
+	}
+	if got := Digest([]byte("a")); got != 0xaf63dc4c8601ec8c {
+		t.Fatalf("Digest(a) = %#x", got)
+	}
+	if Digest([]byte("abc")) == Digest([]byte("acb")) {
+		t.Fatal("digest ignores order")
+	}
+}
+
+func TestMappingMonotonic(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		m := newMapping(mix64(seed))
+		last := uint64(0)
+		for i := 0; i < 100; i++ {
+			nxt := m.next()
+			if nxt <= last {
+				t.Fatalf("seed %d: index not strictly increasing: %d after %d", seed, nxt, last)
+			}
+			last = nxt
+		}
+	}
+}
+
+func BenchmarkReconcile(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		for _, d := range []int{10, 100} {
+			b.Run(fmt.Sprintf("n%d_d%d", n, d), func(b *testing.B) {
+				remote := synthSet(n, 11)
+				local := make([]Item, len(remote)-d)
+				copy(local, remote[:len(remote)-d])
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					enc := NewEncoder(remote)
+					dec := NewDecoder(local)
+					for !dec.Decoded() {
+						dec.AddSymbol(enc.Next())
+					}
+				}
+			})
+		}
+	}
+}

@@ -19,8 +19,8 @@ func TestAllExperimentsPassQuick(t *testing.T) {
 	var buf bytes.Buffer
 	r := &Runner{W: &buf, Cfg: Config{Quick: true, Dir: t.TempDir()}}
 	results := r.RunAll()
-	if len(results) != 20 {
-		t.Fatalf("ran %d experiments, want 20", len(results))
+	if len(results) != 21 {
+		t.Fatalf("ran %d experiments, want 21", len(results))
 	}
 	for _, res := range results {
 		if !res.Passed {

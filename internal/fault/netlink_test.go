@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeLink returns a faulted read end fed by writes to w.
+func pipeLink(t *testing.T, p *NetPlan) (r net.Conn, w net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return p.Wrap(a), b
+}
+
+func writeFrames(t *testing.T, w net.Conn, frames ...string) {
+	t.Helper()
+	go func() {
+		for _, f := range frames {
+			w.Write([]byte(f))
+		}
+		w.Close()
+	}()
+}
+
+func readAll(r net.Conn) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := io.Copy(&buf, r)
+	return buf.Bytes(), err
+}
+
+func TestLinkPassthrough(t *testing.T) {
+	p := NewNetPlan(1)
+	r, w := pipeLink(t, p)
+	writeFrames(t, w, "{\"a\":1}\n", "{\"b\":2}\n")
+	got, err := readAll(r)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(got) != "{\"a\":1}\n{\"b\":2}\n" {
+		t.Fatalf("passthrough mangled stream: %q", got)
+	}
+	c := p.Counters()
+	if c.Frames != 2 || c.Cuts != 0 || c.Corruptions != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestLinkCutAfterFrames(t *testing.T) {
+	p := NewNetPlan(1).CutAfterFrames(2)
+	r, w := pipeLink(t, p)
+	writeFrames(t, w, "one\n", "two\n", "three\n")
+	got, err := readAll(r)
+	if string(got) != "one\ntwo\n" {
+		t.Fatalf("cut delivered %q, want the first two frames exactly", got)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after cut = %v, want ErrInjected", err)
+	}
+	if c := p.Counters(); c.Cuts != 1 {
+		t.Fatalf("cuts = %d, want 1", c.Cuts)
+	}
+	// The cut disarms: a redialled connection streams clean.
+	r2, w2 := pipeLink(t, p)
+	writeFrames(t, w2, "four\n")
+	got, _ = readAll(r2)
+	if string(got) != "four\n" {
+		t.Fatalf("post-cut connection delivered %q", got)
+	}
+	if c := p.Counters(); c.Cuts != 1 || c.Conns != 2 {
+		t.Fatalf("counters after heal = %+v", c)
+	}
+}
+
+func TestLinkCorruptFrame(t *testing.T) {
+	p := NewNetPlan(1).CorruptFrame(2)
+	r, w := pipeLink(t, p)
+	writeFrames(t, w, "aaaa\n", "bbbb\n", "cccc\n")
+	got, _ := readAll(r)
+	if !bytes.HasPrefix(got, []byte("aaaa\nbb")) || got[7] == 'b' {
+		t.Fatalf("corruption missed: %q", got)
+	}
+	if string(got[8:]) != "b\ncccc\n" {
+		t.Fatalf("corruption spilled beyond its frame: %q", got)
+	}
+	if c := p.Counters(); c.Corruptions != 1 {
+		t.Fatalf("corruptions = %d, want 1", c.Corruptions)
+	}
+}
+
+func TestLinkDuplicateFrames(t *testing.T) {
+	p := NewNetPlan(42).DuplicateFrames(1.0)
+	r, w := pipeLink(t, p)
+	writeFrames(t, w, "x\n", "y\n")
+	got, _ := readAll(r)
+	if string(got) != "x\nx\ny\ny\n" {
+		t.Fatalf("duplication delivered %q", got)
+	}
+	if c := p.Counters(); c.Duplicates != 2 {
+		t.Fatalf("duplicates = %d, want 2", c.Duplicates)
+	}
+}
+
+func TestLinkWedgeOnce(t *testing.T) {
+	p := NewNetPlan(1).WedgeOnce(50 * time.Millisecond)
+	r, w := pipeLink(t, p)
+	writeFrames(t, w, "z\n")
+	start := time.Now()
+	got, _ := readAll(r)
+	if string(got) != "z\n" {
+		t.Fatalf("wedge dropped data: %q", got)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("wedge did not stall (%v)", d)
+	}
+	if c := p.Counters(); c.Delays == 0 {
+		t.Fatal("wedge not counted")
+	}
+}
+
+func TestLinkMidFrameTail(t *testing.T) {
+	// A peer that dies mid-frame: the half-frame must still reach the
+	// reader (it is a physically real state), followed by the EOF.
+	p := NewNetPlan(1)
+	r, w := pipeLink(t, p)
+	writeFrames(t, w, "whole\n", "torn-without-newline")
+	got, err := readAll(r)
+	if string(got) != "whole\ntorn-without-newline" {
+		t.Fatalf("tail lost: %q", got)
+	}
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+}

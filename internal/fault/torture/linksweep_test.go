@@ -1,0 +1,20 @@
+package torture
+
+import "testing"
+
+func TestLinkSweep(t *testing.T) {
+	cfg := Config{Objects: 3, Txns: 10}
+	res, err := LinkSweep(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cuts == 0 || res.Corruptions == 0 {
+		t.Fatalf("sweep injected nothing: %+v", res)
+	}
+	// Both the bootstrap stream and the rejoin must have been attacked
+	// at more than one boundary each, or the sweep is vacuous.
+	if res.Iterations < 8 {
+		t.Fatalf("sweep covered only %d fault positions: %+v", res.Iterations, res)
+	}
+	t.Logf("link sweep: %+v", res)
+}

@@ -29,6 +29,10 @@ const (
 	IncActionPanic   = "action_panic"
 	IncReplicaRedial = "replica_redial"
 	IncPromotion     = "promotion"
+	// IncDivergence: an anti-entropy audit (repl.verify) confirmed the
+	// replica's store differs from the primary's for at least one
+	// object that was not explained by replication lag.
+	IncDivergence = "divergence"
 )
 
 // IncidentKinds lists every kind the recorder emits, for the
@@ -42,6 +46,7 @@ var IncidentKinds = []string{
 	IncActionPanic,
 	IncReplicaRedial,
 	IncPromotion,
+	IncDivergence,
 }
 
 // incident is the in-ring representation: fixed-size, written in place

@@ -41,6 +41,11 @@ type Hub struct {
 	bytesShipped     obs.Counter
 	snapshotsShipped obs.Counter
 	pingRTT          obs.Histogram
+
+	reconSessions obs.Counter // anti-entropy exchanges served
+	reconRejoins  obs.Counter // out-of-range rejoins resolved by recon instead of snapshot
+	symbolsSent   obs.Counter // coded symbols shipped
+	reconObjects  obs.Counter // divergent objects shipped (incl. gone markers)
 }
 
 // subscriber is one live stream's shipping position.
@@ -130,6 +135,14 @@ func (h *Hub) RegisterMetrics(reg *obs.Registry) {
 		h.snapshotsShipped.Value)
 	reg.RegisterHistogram("repl.ping_rtt_ns", "ns", "ping→pong round trip to subscribers, hub clock",
 		&h.pingRTT)
+	reg.Func("antientropy.sessions", "exchanges", "anti-entropy digest/symbol exchanges served",
+		h.reconSessions.Value)
+	reg.Func("antientropy.rejoins", "rejoins", "out-of-range rejoins served by reconciliation instead of snapshot",
+		h.reconRejoins.Value)
+	reg.Func("antientropy.symbols_sent", "symbols", "coded symbols shipped to reconciling peers",
+		h.symbolsSent.Value)
+	reg.Func("antientropy.objects_shipped", "objects", "divergent object images shipped during reconciliation",
+		h.reconObjects.Value)
 }
 
 func (h *Hub) addSub(pos wal.LSN) *subscriber {
@@ -160,21 +173,66 @@ func (h *Hub) setPos(s *subscriber, pos wal.LSN) {
 func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 	log := h.store.Log()
 	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
 	from := wal.LSN(req.LSN)
 
 	s := h.addSub(from)
 	defer h.removeSub(s)
 
-	// Pongs are the only upstream frames; a side reader drains them and
-	// observes RTT on this clock. It exits when the connection closes
-	// (the server closes conn when this handler returns). The server's
-	// request reader cannot have buffered pong bytes: a replica sends
-	// nothing after its subscribe request until it hears a ping.
+	// Out-of-range positions get a rejoin first: below base the records
+	// were checkpoint-truncated away; beyond end the replica outlived
+	// log the primary no longer has (e.g. the primary was restored from
+	// an older state). A reconciling subscriber ships only its drift; a
+	// plain one (or an aborted exchange) gets the full snapshot.
+	// Registering the subscriber before checking pins the base where we
+	// read it.
+	if from < log.Base() || from > log.End() {
+		wantSnap := true
+		if req.Recon {
+			lsn, aborted, err := h.serveRecon(conn, enc, dec, true)
+			if err != nil {
+				return nil // link failed mid-exchange; replica redials
+			}
+			if !aborted {
+				h.reconRejoins.Inc()
+				from = lsn
+				h.setPos(s, from)
+				wantSnap = false
+			}
+		}
+		if wantSnap {
+			lsn, nextOID, objs, err := h.store.Export()
+			if err != nil {
+				enc.Encode((&Frame{T: FrameErr, Err: err.Error()}).seal())
+				return nil
+			}
+			if err := enc.Encode((&Frame{T: FrameSnap, LSN: uint64(lsn), NextOID: uint64(nextOID)}).seal()); err != nil {
+				return nil
+			}
+			for _, o := range objs {
+				if err := enc.Encode((&Frame{T: FrameObj, OID: uint64(o.OID), Data: o.Data}).seal()); err != nil {
+					return nil
+				}
+			}
+			if err := enc.Encode((&Frame{T: FrameSnapEnd}).seal()); err != nil {
+				return nil
+			}
+			h.snapshotsShipped.Inc()
+			from = lsn
+			h.setPos(s, from)
+		}
+	}
+
+	// Pongs are the only upstream frames from here on; a side reader
+	// drains them and observes RTT on this clock. It exits when the
+	// connection closes (the server closes conn when this handler
+	// returns). It starts only after any recon exchange: the exchange
+	// owns the shared decoder until it completes, and a replica sends
+	// nothing between its last recon frame and the first pong.
 	go func() {
-		pongDec := json.NewDecoder(conn)
 		for {
 			var f Frame
-			if err := pongDec.Decode(&f); err != nil {
+			if err := dec.Decode(&f); err != nil {
 				return
 			}
 			if f.T == FramePong && f.TS > 0 {
@@ -185,33 +243,6 @@ func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 		}
 	}()
 
-	// Out-of-range positions get a full snapshot first: below base the
-	// records were checkpoint-truncated away; beyond end the replica
-	// outlived log the primary no longer has (e.g. the primary was
-	// restored from an older state). Registering the subscriber before
-	// checking pins the base where we read it.
-	if from < log.Base() || from > log.End() {
-		lsn, nextOID, objs, err := h.store.Export()
-		if err != nil {
-			enc.Encode(&Frame{T: FrameErr, Err: err.Error()})
-			return nil
-		}
-		if err := enc.Encode(&Frame{T: FrameSnap, LSN: uint64(lsn), NextOID: uint64(nextOID)}); err != nil {
-			return nil
-		}
-		for _, o := range objs {
-			if err := enc.Encode(&Frame{T: FrameObj, OID: uint64(o.OID), Data: o.Data}); err != nil {
-				return nil
-			}
-		}
-		if err := enc.Encode(&Frame{T: FrameSnapEnd}); err != nil {
-			return nil
-		}
-		h.snapshotsShipped.Inc()
-		from = lsn
-		h.setPos(s, from)
-	}
-
 	ping := time.NewTimer(h.opts.PingInterval)
 	defer ping.Stop()
 	for {
@@ -220,10 +251,10 @@ func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 			if errors.Is(err, wal.ErrTruncatedLSN) {
 				// Should be impossible while we hold the pin; surface it
 				// rather than ship a gap.
-				enc.Encode(&Frame{T: FrameErr, Err: err.Error()})
+				enc.Encode((&Frame{T: FrameErr, Err: err.Error()}).seal())
 				return nil
 			}
-			enc.Encode(&Frame{T: FrameErr, Err: err.Error()})
+			enc.Encode((&Frame{T: FrameErr, Err: err.Error()}).seal())
 			return fmt.Errorf("repl: read durable at %d: %w", from, err)
 		}
 		if len(recs) > 0 {
@@ -241,10 +272,10 @@ func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 				}
 			}
 			if off != next {
-				enc.Encode(&Frame{T: FrameErr, Err: "repl: internal: record sizes disagree with batch bounds"})
+				enc.Encode((&Frame{T: FrameErr, Err: "repl: internal: record sizes disagree with batch bounds"}).seal())
 				return fmt.Errorf("repl: sized records to %d, batch next is %d", off, next)
 			}
-			if err := enc.Encode(frame); err != nil {
+			if err := enc.Encode(frame.seal()); err != nil {
 				return nil // subscriber gone
 			}
 			h.recordsShipped.Add(uint64(len(recs)))
@@ -264,11 +295,11 @@ func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 		select {
 		case <-s.wake:
 		case <-ping.C:
-			if err := enc.Encode(&Frame{T: FramePing, End: uint64(end), TS: time.Now().UnixNano()}); err != nil {
+			if err := enc.Encode((&Frame{T: FramePing, End: uint64(end), TS: time.Now().UnixNano()}).seal()); err != nil {
 				return nil
 			}
 		case <-h.closed:
-			enc.Encode(&Frame{T: FrameErr, Err: "repl: hub closed"})
+			enc.Encode((&Frame{T: FrameErr, Err: "repl: hub closed"}).seal())
 			return nil
 		}
 	}

@@ -32,21 +32,58 @@
 // its end (the replica outlived a primary rollback). Lag is measured in
 // log bytes: the primary's durable end minus the replica's applied
 // position, both in the primary's LSN space.
+//
+// # Anti-entropy
+//
+// A resuming replica whose position is out of range may ask for set
+// reconciliation instead of a full snapshot ({"op":"repl.subscribe",
+// "lsn":N,"recon":true}): the hub fences a per-object digest inventory
+// (internal/antientropy) and the two sides exchange rateless coded
+// symbols until the symmetric difference decodes, after which only the
+// divergent objects travel. The same exchange backs the standalone
+// repl.recon stream op, which Replica.Verify uses for the online
+// divergence audit and in-place repair. Frame grammar and the rejoin
+// decision tree are documented in docs/REPLICATION.md.
+//
+// Every frame carries a semantic checksum (crc) over its meaningful
+// fields, computed independently of the JSON encoding: a flipped byte
+// that still parses as valid JSON (e.g. inside a base64 object image)
+// is caught by the receiver, which drops the link and resumes from the
+// last commit boundary instead of applying corrupt state.
 package repl
+
+import (
+	"fmt"
+
+	"ode/internal/antientropy"
+)
 
 // Frame is one streamed message. T selects which other fields are
 // meaningful (see the package comment for the grammar).
 type Frame struct {
 	T       string    `json:"t"`
-	LSN     uint64    `json:"lsn,omitempty"`      // snap: snapshot LSN; recs: first record's LSN
+	LSN     uint64    `json:"lsn,omitempty"`      // snap/recon: capture LSN; recs: first record's LSN
 	Next    uint64    `json:"next,omitempty"`     // recs: LSN just past the batch
-	End     uint64    `json:"end,omitempty"`      // recs/ping: primary durable end (lag basis)
-	NextOID uint64    `json:"next_oid,omitempty"` // snap: primary's OID allocator position
+	End     uint64    `json:"end,omitempty"`      // recs/ping/reconend: primary durable end (lag basis)
+	NextOID uint64    `json:"next_oid,omitempty"` // snap/recon: primary's OID allocator position
 	OID     uint64    `json:"oid,omitempty"`      // obj
 	Data    []byte    `json:"data,omitempty"`     // obj (base64 via encoding/json)
 	Recs    []WireRec `json:"recs,omitempty"`     // recs
 	Err     string    `json:"err,omitempty"`      // err
 	TS      int64     `json:"ts,omitempty"`       // ping/pong: sender timestamp (RTT measurement)
+
+	// Anti-entropy fields (recon/sym/more/need/obj frames).
+	N       uint64                    `json:"n,omitempty"`       // recon: object count; more: symbols wanted (0 = abort to snapshot)
+	Root    *antientropy.SetDigest    `json:"root,omitempty"`    // recon: whole-inventory digest
+	Buckets []antientropy.SetDigest   `json:"buckets,omitempty"` // recon: digest walk buckets
+	Syms    []antientropy.CodedSymbol `json:"syms,omitempty"`    // sym: coded-symbol batch
+	OIDs    []uint64                  `json:"oids,omitempty"`    // need: divergent objects to ship
+	Gone    bool                      `json:"gone,omitempty"`    // obj: freed on the primary; free it locally
+
+	// CRC is the semantic frame checksum (frameSum over every field
+	// above, in fixed order). Zero means "absent" for compatibility
+	// with peers that predate it; frameSum never returns zero.
+	CRC uint64 `json:"crc,omitempty"`
 }
 
 // Frame type tags.
@@ -62,6 +99,16 @@ const (
 	// gets no pong), so mixed versions interoperate.
 	FramePong = "pong"
 	FrameErr  = "err"
+	// Anti-entropy frames. Down: recon (digest offer), sym (symbol
+	// batch), obj (divergent image, Gone for primary-side frees),
+	// reconend (exchange complete). Up: more (request N more symbols;
+	// N==0 aborts to a full snapshot), need (divergent OIDs to ship),
+	// reconend (in sync / done, nothing needed).
+	FrameRecon    = "recon"
+	FrameSym      = "sym"
+	FrameMore     = "more"
+	FrameNeed     = "need"
+	FrameReconEnd = "reconend"
 )
 
 // WireRec is one WAL record on the wire. Next is the LSN just past the
@@ -80,3 +127,112 @@ type WireRec struct {
 // OpSubscribe is the wire op a replica opens its stream with; register
 // the Hub's handler under this name in server.Options.StreamOps.
 const OpSubscribe = "repl.subscribe"
+
+// OpRecon is the standalone anti-entropy stream op: one digest/symbol
+// exchange (plus optional divergent-object shipping) and the connection
+// ends. Replica.Verify drives it; register the Hub's HandleRecon under
+// this name in server.Options.StreamOps.
+const OpRecon = "repl.recon"
+
+// --- semantic frame checksum -------------------------------------------------
+
+// frameSum hashes a frame's meaningful fields, in fixed order, with
+// FNV-1a 64 — independent of the JSON encoding, so both sides agree on
+// it regardless of field order, base64 framing, or whitespace. The
+// result is never zero (zero marks "no checksum" on the wire).
+func frameSum(f *Frame) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte1 := func(b byte) { h ^= uint64(b); h *= prime64 }
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			byte1(byte(v >> (8 * i)))
+		}
+	}
+	str := func(s string) {
+		u64(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			byte1(s[i])
+		}
+	}
+	bts := func(b []byte) {
+		u64(uint64(len(b)))
+		for _, c := range b {
+			byte1(c)
+		}
+	}
+	str(f.T)
+	u64(f.LSN)
+	u64(f.Next)
+	u64(f.End)
+	u64(f.NextOID)
+	u64(f.OID)
+	bts(f.Data)
+	u64(uint64(len(f.Recs)))
+	for i := range f.Recs {
+		r := &f.Recs[i]
+		byte1(r.Type)
+		u64(r.Txn)
+		u64(r.OID)
+		bts(r.Data)
+		u64(r.Next)
+	}
+	str(f.Err)
+	u64(uint64(f.TS))
+	u64(f.N)
+	if f.Root != nil {
+		byte1(1)
+		u64(f.Root.Count)
+		u64(f.Root.Sum)
+		u64(f.Root.Xor)
+	} else {
+		byte1(0)
+	}
+	u64(uint64(len(f.Buckets)))
+	for _, b := range f.Buckets {
+		u64(b.Count)
+		u64(b.Sum)
+		u64(b.Xor)
+	}
+	u64(uint64(len(f.Syms)))
+	for _, s := range f.Syms {
+		u64(uint64(s.Count))
+		u64(s.Key)
+		u64(s.Dig)
+		u64(s.Check)
+	}
+	u64(uint64(len(f.OIDs)))
+	for _, o := range f.OIDs {
+		u64(o)
+	}
+	if f.Gone {
+		byte1(1)
+	} else {
+		byte1(0)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// seal stamps the frame's checksum before encoding.
+func (f *Frame) seal() *Frame {
+	f.CRC = frameSum(f)
+	return f
+}
+
+// checkSum verifies a received frame's checksum. Frames from old peers
+// (CRC 0) pass; anything else must match.
+func checkSum(f *Frame) error {
+	if f.CRC == 0 {
+		return nil
+	}
+	if got := frameSum(f); got != f.CRC {
+		return fmt.Errorf("repl: frame %q checksum mismatch (got %#x, want %#x): corrupt link", f.T, got, f.CRC)
+	}
+	return nil
+}

@@ -66,7 +66,10 @@ func startPrimary(t *testing.T, path string, cls *core.Class) *primary {
 	hub := NewHub(store, HubOptions{PingInterval: 50 * time.Millisecond})
 	hub.RegisterMetrics(db.Observability())
 	srv := server.NewWithOptions(db, server.Options{
-		StreamOps: map[string]server.StreamHandler{OpSubscribe: hub.HandleSubscribe},
+		StreamOps: map[string]server.StreamHandler{
+			OpSubscribe: hub.HandleSubscribe,
+			OpRecon:     hub.HandleRecon,
+		},
 	})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -35,6 +36,13 @@ type ReplicaOptions struct {
 	// reconnect attempts (defaults 10ms / 1s; see server.Backoff).
 	RedialBase time.Duration
 	RedialMax  time.Duration
+	// Dial overrides how the replica reaches the primary. Tests and the
+	// fault layer inject instrumented or flaky links here; nil means
+	// net.DialTimeout over TCP.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// NoRecon disables anti-entropy rejoin: an out-of-range resume
+	// always takes the full snapshot, as before reconciliation existed.
+	NoRecon bool
 }
 
 // Status is a snapshot of a replica's stream state, served by the
@@ -84,6 +92,14 @@ type Replica struct {
 	batchesApplied  obs.Counter
 	snapshotsLoaded obs.Counter
 	applyNs         obs.Histogram // ApplyReplicated latency per batch
+
+	symbolsReceived obs.Counter // anti-entropy coded symbols consumed
+	diffsDecoded    obs.Counter // divergent items decoded from symbol streams
+	objectsRepaired obs.Counter // objects rewritten/freed by recon rejoin or repair
+	verifyRuns      obs.Counter // Verify invocations
+	diverged        obs.Counter // objects confirmed divergent by Verify
+
+	verifyMu sync.Mutex // one Verify at a time
 
 	// caughtUp is closed the first time applied reaches the end the
 	// primary reported at subscribe time — the bootstrap barrier.
@@ -210,6 +226,16 @@ func (r *Replica) RegisterMetrics(reg *obs.Registry) {
 		r.lag.Load)
 	reg.RegisterHistogram("repl.apply_ns", "ns", "ApplyReplicated latency per replicated transaction",
 		&r.applyNs)
+	reg.Func("antientropy.symbols_received", "symbols", "coded symbols consumed while reconciling",
+		r.symbolsReceived.Value)
+	reg.Func("antientropy.diffs_decoded", "items", "divergent items decoded from symbol streams",
+		r.diffsDecoded.Value)
+	reg.Func("antientropy.objects_repaired", "objects", "objects rewritten or freed by rejoin/repair",
+		r.objectsRepaired.Value)
+	reg.Func("repl.verify_runs", "runs", "online divergence audits executed",
+		r.verifyRuns.Value)
+	reg.Func("repl.diverged", "objects", "objects confirmed divergent from the primary",
+		r.diverged.Value)
 }
 
 // updateLag recomputes the lag gauge from the applied/end atomics.
@@ -251,18 +277,30 @@ func (r *Replica) run() {
 	}
 }
 
+// dial opens a connection to the primary through the configured
+// transport (the Dial hook, or TCP).
+func (r *Replica) dial() (net.Conn, error) {
+	if r.opts.Dial != nil {
+		return r.opts.Dial(r.primary, r.opts.DialTimeout)
+	}
+	return net.DialTimeout("tcp", r.primary, r.opts.DialTimeout)
+}
+
 // streamOnce runs one connection's worth of streaming. A nil return
 // means the link made progress before dropping (reset the backoff);
 // an error means the attempt failed outright.
 func (r *Replica) streamOnce() error {
-	conn, err := net.DialTimeout("tcp", r.primary, r.opts.DialTimeout)
+	conn, err := r.dial()
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(bufio.NewReader(conn))
-	if err := enc.Encode(&server.Request{Op: OpSubscribe, LSN: r.applied.Load()}); err != nil {
+	// Offer reconciliation when the local store has anything to
+	// reconcile against; an empty store bootstraps faster by snapshot.
+	recon := !r.opts.NoRecon && r.store.ObjectCount() > 0
+	if err := enc.Encode(&server.Request{Op: OpSubscribe, LSN: r.applied.Load(), Recon: recon}); err != nil {
 		return err
 	}
 	r.connected.Store(true)
@@ -292,7 +330,36 @@ func (r *Replica) streamOnce() error {
 			}
 			return err
 		}
+		// A frame that parses but fails its semantic checksum is a
+		// corrupt link: drop it before acting on anything it carries and
+		// resume from the last commit boundary on the next dial.
+		if err := checkSum(&f); err != nil {
+			if progressed {
+				return nil
+			}
+			return err
+		}
 		switch f.T {
+		case FrameRecon:
+			// Out-of-range rejoin via set reconciliation: decode the
+			// drift, fetch only the divergent objects, resume streaming
+			// from the capture LSN on this same connection.
+			res, err := r.runRecon(&f, conn, enc, dec, true, nil)
+			if errors.Is(err, errReconAbort) {
+				// The hub falls back to a full snapshot on this stream.
+				continue
+			}
+			if err != nil {
+				if progressed {
+					return nil
+				}
+				return err
+			}
+			if err := r.applyReconResult(res); err != nil {
+				return err
+			}
+			progressed = true
+			continue
 		case FrameSnap:
 			inSnap = true
 			snapObjs = snapObjs[:0]
@@ -312,7 +379,10 @@ func (r *Replica) streamOnce() error {
 			}
 			snapObjs = nil
 			r.snapshotsLoaded.Inc()
-			r.setApplied(snapLSN)
+			// The snapshot position may be *behind* the old applied
+			// position (the primary was restored from older state), so
+			// force it rather than monotonically advance.
+			r.forceApplied(snapLSN)
 			progressed = true
 		case FrameRecs:
 			if err := r.applyBatch(&f, pending); err != nil {
@@ -331,7 +401,7 @@ func (r *Replica) streamOnce() error {
 			if f.TS != 0 {
 				// Echo the hub's timestamp so it can observe RTT. Old
 				// primaries send no TS and get no pong.
-				if err := enc.Encode(&Frame{T: FramePong, TS: f.TS}); err != nil {
+				if err := enc.Encode((&Frame{T: FramePong, TS: f.TS}).seal()); err != nil {
 					return err
 				}
 			}
@@ -408,6 +478,40 @@ func (r *Replica) setApplied(lsn uint64) {
 	savePos(r.opts.PosPath, lsn) // best-effort; stale is safe
 }
 
+// forceApplied moves the resume position unconditionally — snapshot
+// import and recon rejoin can legitimately move it backward when the
+// primary was restored from older state.
+func (r *Replica) forceApplied(lsn uint64) {
+	r.applied.Store(lsn)
+	r.updateLag()
+	savePos(r.opts.PosPath, lsn)
+}
+
+// applyReconResult lands one fetched exchange as a single replicated
+// batch: the primary's images overwrite the divergent objects, frees
+// drop what the primary lacks, and the allocator catches up, after
+// which the store equals a log replay up to the capture LSN (for the
+// objects' final images; intermediate history is intentionally not
+// reconstructed — the stream that follows is idempotent over it).
+func (r *Replica) applyReconResult(res *reconResult) error {
+	ops := res.reconOps(nil)
+	if len(ops) > 0 {
+		// The synthetic txn id namespaces rejoin batches away from
+		// replicated primary transactions in the local WAL.
+		if err := r.store.ApplyReplicated(reconTxnBase+res.captureLSN, ops); err != nil {
+			return fmt.Errorf("repl: apply recon batch: %w", err)
+		}
+		r.objectsRepaired.Add(uint64(len(ops)))
+	}
+	r.store.EnsureNextOID(storage.OID(res.nextOID))
+	r.forceApplied(res.captureLSN)
+	return nil
+}
+
+// reconTxnBase namespaces the synthetic transaction ids recon repair
+// batches use in the replica's local WAL.
+const reconTxnBase = uint64(1) << 62
+
 func (r *Replica) checkCaughtUp(firstEnd uint64) {
 	if r.applied.Load() >= firstEnd {
 		r.caughtOne.Do(func() { close(r.caughtUp) })
@@ -419,7 +523,13 @@ func (r *Replica) checkCaughtUp(firstEnd uint64) {
 // The sidecar holds the 8-byte little-endian resume LSN. It is written
 // after the applied records are durable in the local store, so it can
 // only be stale (never ahead); the stream re-applies the gap
-// idempotently. Written via rename so a torn write can't corrupt it.
+// idempotently. Written to a temp file, fsynced, then renamed into
+// place: the fsync keeps a crash from renaming an unwritten (torn)
+// temp over a good sidecar, and the rename keeps a torn write from
+// ever being visible under the real name. Every reachable state is
+// safe: a missing or short sidecar resumes from zero (bootstrap), a
+// stale-but-valid one resumes from an old commit boundary and the
+// redo-only stream re-applies the gap idempotently.
 
 func loadPos(path string) (uint64, error) {
 	b, err := os.ReadFile(path)
@@ -440,7 +550,15 @@ func savePos(path string, lsn uint64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], lsn)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b[:], 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	_, werr := f.Write(b[:])
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp)
 		return
 	}
 	os.Rename(tmp, path)

@@ -63,6 +63,12 @@ type Request struct {
 	Value   json.RawMessage `json:"value,omitempty"` // object payload for create
 	Rate    int64           `json:"rate,omitempty"`  // trace op: >0 sets 1-in-n sampling, <0 disables, 0 leaves unchanged
 	LSN     uint64          `json:"lsn,omitempty"`   // stream ops: resume position (repl.subscribe)
+	// Recon, on repl.subscribe, offers anti-entropy reconciliation for
+	// an out-of-range resume instead of a full snapshot bootstrap.
+	Recon bool `json:"recon,omitempty"`
+	// Repair, on repl.verify, authorizes in-place repair of whatever
+	// divergence the audit confirms.
+	Repair bool `json:"repair,omitempty"`
 	// Snapshot, on begin, opens a lock-free read-only snapshot
 	// transaction instead of a regular one; mutating ops on the session
 	// then fail with ErrSnapshotWrite until commit/abort.

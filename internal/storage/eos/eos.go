@@ -34,6 +34,7 @@ import (
 	"os"
 	"sync"
 
+	"ode/internal/antientropy"
 	"ode/internal/obs"
 	"ode/internal/storage"
 	"ode/internal/storage/vstore"
@@ -1342,6 +1343,54 @@ func (m *Manager) Export() (lsn wal.LSN, nextOID storage.OID, objs []SnapObject,
 		objs = append(objs, SnapObject{OID: oid, Data: data})
 	}
 	return lsn, m.nextOID, objs, nil
+}
+
+// ExportDigests produces a consistent per-object digest inventory of
+// the store under the same commit fence as Export: the returned item
+// set (OID, content digest) is exactly the state a replay of the log up
+// to the returned LSN produces. This is the anti-entropy capture point:
+// reconciling two digest inventories yields the divergent OIDs without
+// shipping any object images.
+func (m *Manager) ExportDigests() (lsn wal.LSN, nextOID storage.OID, items []antientropy.Item, err error) {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, 0, nil, errClosed
+	}
+	m.drainAppliesLocked()
+	lsn = m.log.End()
+	items = make([]antientropy.Item, 0, len(m.dir))
+	for oid, l := range m.dir {
+		data, err := m.readLoc(l)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("eos: export digest oid %d: %w", oid, err)
+		}
+		items = append(items, antientropy.Item{Key: uint64(oid), Digest: antientropy.Digest(data)})
+	}
+	return lsn, m.nextOID, items, nil
+}
+
+// ObjectCount returns the number of live objects in the store.
+func (m *Manager) ObjectCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.dir)
+}
+
+// EnsureNextOID raises the OID allocator to at least next. Anti-entropy
+// repair uses it to carry the primary's allocator over to a repaired
+// replica so a later promotion cannot re-issue OIDs the primary already
+// handed out.
+func (m *Manager) EnsureNextOID(next storage.OID) {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if next > m.nextOID {
+		m.nextOID = next
+	}
 }
 
 // ImportSnapshot replaces the store's entire contents with a snapshot

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ode/internal/antientropy"
 	"ode/internal/storage"
 	"ode/internal/wal"
 )
@@ -128,6 +129,50 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 	if dstNext < srcNext {
 		t.Fatalf("imported allocator hands out %d, primary was at %d: replica could reuse OIDs", dstNext, srcNext)
+	}
+}
+
+// TestExportDigests: the digest inventory matches a digest of every
+// live object under the same fence as Export, and EnsureNextOID only
+// ever raises the allocator.
+func TestExportDigests(t *testing.T) {
+	m, _ := openTemp(t, Options{})
+	want := map[uint64]uint64{}
+	for i := 0; i < 10; i++ {
+		oid := storage.OID(200 + i)
+		data := []byte(fmt.Sprintf("digestable-%d", i))
+		commitWrite(t, m, uint64(i+1), oid, data)
+		want[uint64(oid)] = antientropy.Digest(data)
+	}
+	if err := m.ApplyCommit(50, []storage.Op{{Kind: storage.OpFree, OID: 203}}); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, 203)
+
+	lsn, nextOID, items, err := m.ExportDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != m.Log().End() {
+		t.Fatalf("digest LSN %d, log end %d", lsn, m.Log().End())
+	}
+	if m.ObjectCount() != len(want) || len(items) != len(want) {
+		t.Fatalf("inventory has %d items, ObjectCount %d, want %d", len(items), m.ObjectCount(), len(want))
+	}
+	for _, it := range items {
+		if want[it.Key] != it.Digest {
+			t.Fatalf("oid %d digest %#x, want %#x", it.Key, it.Digest, want[it.Key])
+		}
+	}
+
+	m.EnsureNextOID(nextOID - 1) // lowering is a no-op
+	m.EnsureNextOID(nextOID + 100)
+	got, err := m.ReserveOID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < nextOID+100 {
+		t.Fatalf("allocator at %d after EnsureNextOID(%d)", got, nextOID+100)
 	}
 }
 
