@@ -73,6 +73,16 @@ func writeBenchOut() {
 	}
 	// Derive the machine-independent ratios the regression gate compares:
 	// absolute q/s varies with hardware, snapshot/baseline does not.
+	if e23 := benchRecords["e23_wire"]; e23 != nil {
+		for _, link := range []string{"loopback", "rtt1ms"} {
+			base := e23["postings_per_sec/"+link+"/json"]
+			for _, mode := range []string{"binary", "mux"} {
+				if v := e23[fmt.Sprintf("postings_per_sec/%s/%s", link, mode)]; base > 0 && v > 0 {
+					e23[fmt.Sprintf("ratio/%s/%s", link, mode)] = v / base
+				}
+			}
+		}
+	}
 	if e21 := benchRecords["e21_snapshot_reads"]; e21 != nil {
 		for _, readers := range e21ReaderGrid {
 			base := e21[fmt.Sprintf("baseline/readers=%d", readers)]
@@ -1030,6 +1040,48 @@ func BenchmarkE19Replication(b *testing.B) {
 			}
 			b.StopTimer()
 		})
+	}
+}
+
+// --- E23: wire pipelining ------------------------------------------------------
+
+// BenchmarkE23Wire measures server posting throughput per wire protocol
+// at 16 concurrent clients: the JSON lockstep baseline, the ODE2 binary
+// protocol with request-ID pipelining, and the multiplexed shared
+// connection (docs/PROTOCOL.md). Each protocol runs twice — over raw
+// loopback and through E23's emulated 1 ms-RTT network, where hiding
+// latency (what pipelining is for) dominates. The rtt binary/json
+// ratio is the machine-independent number CI's bench gate tracks. Run
+// with ODE_BENCH_OUT=BENCH_wire.json -bench E23Wire to regenerate the
+// committed numbers.
+func BenchmarkE23Wire(b *testing.B) {
+	const clients, perOps = 16, 2000
+	for _, link := range []string{"loopback", "rtt1ms"} {
+		for _, mode := range []string{"json", "binary", "mux"} {
+			b.Run(link+"/"+mode, func(b *testing.B) {
+				env, err := experiments.NewWireEnv(clients)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(env.Close)
+				if link == "rtt1ms" {
+					rttEnv, stop, err := env.WithRTT(time.Millisecond)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(stop)
+					env = rttEnv
+				}
+				for i := 0; i < b.N; i++ {
+					rate, err := env.MeasureWirePosting(perOps, mode)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(rate, "postings/s")
+					recordBench("e23_wire", fmt.Sprintf("postings_per_sec/%s/%s", link, mode), rate)
+				}
+			})
+		}
 	}
 }
 

@@ -32,6 +32,14 @@
 //
 //	ode-inspect -verify 127.0.0.1:7048 [-repair]
 //
+// With -wire it asks a running ode-server which protocol the connection
+// negotiated and prints the server's wire counters — frames, bytes,
+// connections per protocol (the server's "proto" op). It tries the ODE2
+// binary upgrade first and falls back to JSON if the server is running
+// -protocol json:
+//
+//	ode-inspect -wire 127.0.0.1:7047
+//
 // Usage:
 //
 //	ode-inspect [-v] file.eos
@@ -39,6 +47,7 @@
 //	ode-inspect -repl addr
 //	ode-inspect -flight addr
 //	ode-inspect -verify addr [-repair]
+//	ode-inspect -wire addr
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -58,6 +68,8 @@ import (
 	"ode/internal/lock"
 	"ode/internal/obj"
 	"ode/internal/obs"
+	"ode/internal/repl"
+	"ode/internal/server"
 	"ode/internal/storage"
 	"ode/internal/storage/eos"
 	"ode/internal/txn"
@@ -72,6 +84,7 @@ func main() {
 	flightAddr := flag.String("flight", "", "fetch the flight-recorder incident ring as JSON from a running ode-server at this address")
 	verifyAddr := flag.String("verify", "", "run an anti-entropy divergence audit on a running replica ode-server at this address (the server's \"repl.verify\" op)")
 	repair := flag.Bool("repair", false, "with -verify: authorize in-place repair of confirmed divergence")
+	wireAddr := flag.String("wire", "", "print the negotiated protocol and wire counters of a running ode-server at this address (the server's \"proto\" op)")
 	flag.Parse()
 	if *traces != "" {
 		req := map[string]any{"op": "trace"}
@@ -84,13 +97,19 @@ func main() {
 		return
 	}
 	if *replAddr != "" {
-		if err := fetchJSON(*replAddr, map[string]any{"op": "repl.status"}); err != nil {
+		if err := fetchJSON(*replAddr, map[string]any{"op": repl.OpStatus}); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if *flightAddr != "" {
 		if err := fetchJSON(*flightAddr, map[string]any{"op": "flight"}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *wireAddr != "" {
+		if err := fetchWire(*wireAddr); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -104,7 +123,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]  |  ode-inspect -repl addr  |  ode-inspect -flight addr  |  ode-inspect -verify addr [-repair]")
+		log.Fatal("usage: ode-inspect [-v] file.eos  |  ode-inspect -traces addr [-rate n]  |  ode-inspect -repl addr  |  ode-inspect -flight addr  |  ode-inspect -verify addr [-repair]  |  ode-inspect -wire addr")
 	}
 	store, err := eos.Open(flag.Arg(0), eos.Options{})
 	if err != nil {
@@ -248,7 +267,7 @@ func fetchVerify(addr string, repair bool) error {
 		return err
 	}
 	defer conn.Close()
-	req := map[string]any{"op": "repl.verify"}
+	req := map[string]any{"op": repl.OpVerify}
 	if repair {
 		req["repair"] = true
 	}
@@ -280,6 +299,30 @@ func fetchVerify(addr string, repair bool) error {
 	if !resp.OK {
 		return fmt.Errorf("server: %s", resp.Error)
 	}
+	return nil
+}
+
+// fetchWire asks the server's proto op what this very connection
+// negotiated, preferring the binary upgrade and falling back to the
+// JSON protocol against a -protocol json server.
+func fetchWire(addr string) error {
+	c, err := server.DialOptions(addr, server.ClientOptions{Binary: true})
+	if err != nil && errors.Is(err, server.ErrBinaryDisabled) {
+		c, err = server.Dial(addr)
+	}
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	resp, err := c.Call(&server.Request{Op: "proto"})
+	if err != nil {
+		return err
+	}
+	pretty, err := json.MarshalIndent(resp.Result, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(pretty))
 	return nil
 }
 

@@ -12,7 +12,13 @@
 //
 //	ode-server -db cards.eos -addr 127.0.0.1:7047
 //
-// Protocol (newline-delimited JSON, one transaction per connection):
+// The server speaks two protocols on one port (docs/PROTOCOL.md): the
+// newline-delimited JSON below, and — for clients whose first four
+// bytes are "ODE2" — a length-prefixed binary framing with request IDs,
+// pipelining, and multiplexed sessions. -protocol json disables the
+// binary upgrade.
+//
+// JSON protocol (one transaction per connection):
 //
 //	{"op":"begin"}
 //	{"op":"create","class":"CredCard","value":{"CredLim":1000,"GoodHist":true}}
@@ -110,12 +116,20 @@ func main() {
 	readyLag := flag.Uint64("ready-lag", 1<<20, "replica mode: /readyz reports 503 while replication lag exceeds this many bytes (0 disables the check)")
 	verifyEvery := flag.Duration("verify-every", 0, "replica mode: run a standing anti-entropy audit against the primary at this interval (0 disables)")
 	autoRepair := flag.Bool("auto-repair", false, "replica mode: let the standing audit repair confirmed divergence in place")
+	protocol := flag.String("protocol", "both", `wire protocols to accept: "both" (JSON + ODE2 binary upgrade) or "json"`)
 	flag.Parse()
 
 	opts := server.Options{
 		MaxRequestBytes: *maxReq,
 		IdleTimeout:     *idle,
 		DrainTimeout:    *drain,
+	}
+	switch *protocol {
+	case "both":
+	case "json":
+		opts.DisableBinary = true
+	default:
+		log.Fatalf(`-protocol must be "both" or "json", got %q`, *protocol)
 	}
 
 	var db *ode.Database
@@ -154,17 +168,17 @@ func main() {
 		rep.RegisterMetrics(db.Observability())
 		opts.PrimaryAddr = *replicaOf
 		opts.ExtraOps = map[string]func(*server.Request) *server.Response{
-			"repl.status": func(*server.Request) *server.Response {
+			repl.OpStatus: func(*server.Request) *server.Response {
 				return &server.Response{OK: true, Result: rep.Status()}
 			},
-			"repl.promote": func(*server.Request) *server.Response {
+			repl.OpPromote: func(*server.Request) *server.Response {
 				rep.Promote()
 				// A primary is ready by definition; drop the lag gate.
 				health.SetReadiness("repl_lag", nil)
 				log.Println("promoted: now accepting writes")
 				return &server.Response{OK: true, Result: rep.Status()}
 			},
-			"repl.verify": func(req *server.Request) *server.Response {
+			repl.OpVerify: func(req *server.Request) *server.Response {
 				report, err := rep.Verify(repl.VerifyOptions{Repair: req.Repair})
 				if err != nil {
 					return &server.Response{Error: err.Error(), Result: report}
@@ -237,7 +251,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("ode-server listening on %s (db: %s)", bound, storeName(*mem, *dbPath))
+	log.Printf("ode-server listening on %s (db: %s, protocols: %s)", bound, storeName(*mem, *dbPath), protoName(opts.DisableBinary))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -254,4 +268,11 @@ func storeName(mem bool, path string) string {
 		return "main-memory (dali)"
 	}
 	return path
+}
+
+func protoName(jsonOnly bool) string {
+	if jsonOnly {
+		return "json"
+	}
+	return "json+binary"
 }

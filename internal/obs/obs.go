@@ -213,6 +213,40 @@ func (r *Registry) Counter(name, unit, help string) *Counter {
 	return c
 }
 
+// EnsureCounter returns the counter registered under name, registering
+// a fresh one first if absent. Use it for metrics owned by components
+// that may be constructed more than once over the same database (e.g.
+// two Servers sharing one db): plain Counter would panic on the second
+// registration. Panics if name is registered as a different kind.
+func (r *Registry) EnsureCounter(name, unit, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.counter == nil {
+			panic(fmt.Sprintf("obs: metric %q already registered as a non-counter", name))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{name: name, unit: unit, help: help, counter: c}
+	return c
+}
+
+// EnsureHistogram is EnsureCounter for log₂ histograms.
+func (r *Registry) EnsureHistogram(name, unit, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.hist == nil {
+			panic(fmt.Sprintf("obs: metric %q already registered as a non-histogram", name))
+		}
+		return m.hist
+	}
+	h := &Histogram{}
+	r.metrics[name] = &metric{name: name, unit: unit, help: help, hist: h}
+	return h
+}
+
 // Func registers a counter-shaped metric backed by a callback evaluated
 // at snapshot time. Used to expose counters whose storage lives
 // elsewhere (the subsumed Stats structs).

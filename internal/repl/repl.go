@@ -134,6 +134,20 @@ const OpSubscribe = "repl.subscribe"
 // this name in server.Options.StreamOps.
 const OpRecon = "repl.recon"
 
+// The replica-side admin ops (ode-server registers them in
+// server.Options.ExtraOps; docs/PROTOCOL.md and docs/REPLICATION.md
+// document the request/response shapes):
+const (
+	// OpStatus reports the replica's applied LSN, lag, and primary.
+	OpStatus = "repl.status"
+	// OpPromote detaches the replica from its primary and makes it
+	// writable (the §promotion runbook's switch).
+	OpPromote = "repl.promote"
+	// OpVerify runs the online divergence audit (optionally repairing)
+	// against the primary.
+	OpVerify = "repl.verify"
+)
+
 // --- semantic frame checksum -------------------------------------------------
 
 // frameSum hashes a frame's meaningful fields, in fixed order, with

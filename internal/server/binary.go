@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ode/internal/txn"
+)
+
+// Server side of the ODE2 binary protocol (frame.go has the layout,
+// docs/PROTOCOL.md the spec). One connection fans out to three kinds of
+// goroutine:
+//
+//	reader (this goroutine) ──► per-sid workers ──► writer
+//
+// The reader decodes frames and routes each request to its session's
+// worker; a worker is one sid's session — it owns that sid's open
+// transaction and processes its requests strictly in order (per-session
+// FIFO, matching the JSON protocol's semantics). Different sids proceed
+// concurrently, so responses complete out of order across sessions and
+// the single writer goroutine serializes them back onto the wire,
+// flushing only when its queue runs dry (small-write coalescing: a
+// pipelined burst of responses becomes one TCP segment).
+//
+// Backpressure is channel depth end to end: a slow client stops the
+// writer, which fills the out queue, which blocks workers, which fills
+// their queues, which blocks the reader — exactly the TCP-level
+// backpressure the JSON protocol gets for free.
+
+// binQueueDepth bounds each worker's request queue and the shared
+// response queue. Deep enough that a pipelining client never stalls on
+// an empty-queue handoff; shallow enough that one connection cannot
+// buffer unbounded work.
+const binQueueDepth = 256
+
+// binReq is one routed request; a nil req is the close-session
+// sentinel (frameClose).
+type binReq struct {
+	id  uint64
+	req *Request
+}
+
+// binOut is one response headed for the writer.
+type binOut struct {
+	sid  uint32
+	id   uint64
+	resp *Response
+}
+
+// binWorker is one sid's session goroutine.
+type binWorker struct {
+	sid uint32
+	ch  chan binReq
+}
+
+// serveBinary runs the frame loop for one upgraded connection. br has
+// consumed the magic; cw counts bytes out.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader, cw *countingWriter) {
+	out := make(chan binOut, binQueueDepth)
+	var (
+		writerWG sync.WaitGroup
+		workerWG sync.WaitGroup
+		inflight atomic.Int64
+	)
+
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.binaryWriter(conn, cw, out)
+	}()
+
+	workers := make(map[uint32]*binWorker) // reader-goroutine-owned
+	defer func() {
+		for _, w := range workers {
+			close(w.ch)
+		}
+		workerWG.Wait()
+		close(out)
+		writerWG.Wait()
+	}()
+
+	worker := func(sid uint32) *binWorker {
+		if w, ok := workers[sid]; ok {
+			return w
+		}
+		w := &binWorker{sid: sid, ch: make(chan binReq, binQueueDepth)}
+		workers[sid] = w
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			s.binaryWorker(conn, w, out, &inflight)
+		}()
+		return w
+	}
+
+	for {
+		if s.opts.IdleTimeout > 0 {
+			if inflight.Load() == 0 {
+				// Arm the idle deadline only when the connection is
+				// quiescent: a pipelined batch blocked on locks must not
+				// get its connection cut from under it.
+				conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+			} else {
+				conn.SetReadDeadline(time.Time{})
+			}
+		}
+		h, err := readFrameHeader(br)
+		if err != nil {
+			return // disconnect, idle deadline, or unrecoverable framing
+		}
+		s.m.framesIn.Inc()
+		if h.n > s.opts.MaxRequestBytes {
+			// The header still delimits the request exactly: skip the
+			// payload without materializing it and keep the connection —
+			// unlike the JSON path, framing survives an oversized request.
+			if _, err := io.CopyN(io.Discard, br, int64(h.n)); err != nil {
+				return
+			}
+			s.m.oversized.Inc()
+			out <- binOut{sid: h.sid, id: h.id, resp: &Response{
+				Error: fmt.Sprintf("%v: exceeds %d bytes", ErrRequestTooLarge, s.opts.MaxRequestBytes),
+			}}
+			continue
+		}
+		payload := make([]byte, h.n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		switch h.typ {
+		case frameClose:
+			// Routed through the worker so it lands after every request
+			// already queued on the sid (per-session FIFO). The worker
+			// exits after answering; dropping it from the map means a
+			// later frame on the same sid starts a fresh session.
+			if w, ok := workers[h.sid]; ok {
+				w.ch <- binReq{id: h.id}
+				delete(workers, h.sid)
+			} else {
+				// Closing an unknown sid is a no-op, kept idempotent so a
+				// client can always send close on teardown.
+				out <- binOut{sid: h.sid, id: h.id, resp: &Response{OK: true}}
+			}
+		case frameReq:
+			var req Request
+			if err := json.Unmarshal(payload, &req); err != nil {
+				// Framing is intact, so unlike the JSON protocol a bad
+				// payload costs only this request, not the connection.
+				out <- binOut{sid: h.sid, id: h.id, resp: &Response{Error: "malformed request: " + err.Error()}}
+				continue
+			}
+			if _, ok := s.opts.StreamOps[req.Op]; ok {
+				out <- binOut{sid: h.sid, id: h.id, resp: &Response{Error: ErrStreamOverBinary.Error()}}
+				continue
+			}
+			depth := inflight.Add(1)
+			s.m.pipelineDepth.Observe(depth)
+			worker(h.sid).ch <- binReq{id: h.id, req: &req}
+		default:
+			// An unknown frame type means the peer speaks a different
+			// dialect; answer and hang up rather than guess at framing.
+			out <- binOut{sid: h.sid, id: h.id, resp: &Response{Error: fmt.Sprintf("unknown frame type 0x%02x", h.typ)}}
+			return
+		}
+	}
+}
+
+// binaryWorker is one session's request loop: strictly in-order within
+// the sid, concurrent across sids.
+func (s *Server) binaryWorker(conn net.Conn, w *binWorker, out chan<- binOut, inflight *atomic.Int64) {
+	sess := &session{srv: s, db: s.db, primary: s.opts.PrimaryAddr, proto: "binary"}
+	defer func() {
+		if sess.tx != nil && sess.tx.State() == txn.Active {
+			sess.tx.Abort()
+		}
+	}()
+	for r := range w.ch {
+		if r.req == nil {
+			// frameClose: abort the open transaction (the same contract a
+			// JSON disconnect has), acknowledge, and retire the worker.
+			if sess.tx != nil && sess.tx.State() == txn.Active {
+				sess.tx.Abort()
+				sess.tx = nil
+			}
+			out <- binOut{sid: w.sid, id: r.id, resp: &Response{OK: true}}
+			return
+		}
+		var resp *Response
+		if fn, ok := s.opts.ExtraOps[r.req.Op]; ok {
+			resp = safeExtra(fn, r.req)
+		} else {
+			resp = sess.safeHandle(r.req)
+		}
+		out <- binOut{sid: w.sid, id: r.id, resp: resp}
+		if inflight.Add(-1) == 0 && s.opts.IdleTimeout > 0 {
+			// The reader cleared the deadline while work was in flight
+			// and is already blocked; re-arm it here or an idle pipelined
+			// connection would never time out.
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+	}
+}
+
+// binaryWriter is the connection's single writer loop. Responses are
+// buffered and the buffer flushed only when the queue runs dry, so a
+// burst of pipelined completions coalesces into few syscalls. After a
+// write error it keeps draining the queue (discarding) so workers never
+// block on a dead connection.
+func (s *Server) binaryWriter(conn net.Conn, cw *countingWriter, out <-chan binOut) {
+	bw := bufio.NewWriter(cw)
+	var werr error
+	fail := func(err error) {
+		werr = err
+		conn.Close() // unblock the reader; serveBinary tears down
+	}
+	for o := range out {
+		if werr != nil {
+			continue
+		}
+		payload, err := json.Marshal(o.resp)
+		if err != nil {
+			// A handler returned an unmarshalable Result; the JSON
+			// protocol would kill the connection here, but framing lets
+			// us downgrade it to a per-request error.
+			payload, _ = json.Marshal(&Response{Error: "marshal response: " + err.Error()})
+		}
+		if err := writeFrame(bw, frameResp, o.sid, o.id, payload); err != nil {
+			fail(err)
+			continue
+		}
+		s.m.framesOut.Inc()
+		if len(out) == 0 {
+			if err := bw.Flush(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+}

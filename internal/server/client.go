@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 )
 
@@ -25,6 +26,25 @@ type RedirectError struct {
 
 func (e *RedirectError) Error() string {
 	return fmt.Sprintf("server: read-only replica (primary at %s): %s", e.Primary, e.Msg)
+}
+
+// respError maps a non-OK response onto the client's typed errors. It
+// is shared by both transports so a caller cannot tell from the error
+// which protocol carried the request.
+func respError(resp *Response) error {
+	if resp.OK {
+		return nil
+	}
+	if resp.Redirect != "" {
+		return &RedirectError{Primary: resp.Redirect, Msg: resp.Error}
+	}
+	if resp.Aborted {
+		return fmt.Errorf("%w: %s", ErrRemoteAborted, resp.Error)
+	}
+	if strings.HasPrefix(resp.Error, ErrRequestTooLarge.Error()) {
+		return fmt.Errorf("%w: %s", ErrRequestTooLarge, strings.TrimPrefix(resp.Error, ErrRequestTooLarge.Error()+": "))
+	}
+	return errors.New(resp.Error)
 }
 
 // Backoff produces capped exponential waits: Base, 2*Base, 4*Base, ...
@@ -74,6 +94,12 @@ type ClientOptions struct {
 	// (defaults 10ms / 1s).
 	RedialBase time.Duration
 	RedialMax  time.Duration
+	// Binary upgrades the connection to the ODE2 binary framing
+	// (docs/PROTOCOL.md): length-prefixed frames with request IDs,
+	// which is what makes Go (send-without-waiting pipelining) overlap
+	// requests instead of degenerating to one in flight. Zero value
+	// keeps the newline-delimited JSON protocol.
+	Binary bool
 }
 
 // Client is a single-session client: one connection, at most one open
@@ -83,21 +109,33 @@ type ClientOptions struct {
 // never re-sends the failed request — the server may or may not have
 // executed it, and any transaction open on the old connection has been
 // aborted server-side — so callers retry at the transaction level.
-// Not safe for concurrent use.
+//
+// With ClientOptions.Binary the same API runs over ODE2 framing, and
+// Go additionally pipelines: requests are written without waiting and
+// responses matched by request ID. Synchronous methods remain not safe
+// for concurrent use (one session is one single-threaded application);
+// overlapping work wants either Go or a Mux.
 type Client struct {
+	ops // Begin/Commit/Invoke/... op wrappers, shared with MuxSession
+
 	addr string
 	opts ClientOptions
 
+	// JSON transport.
 	conn net.Conn
 	enc  *json.Encoder
 	dec  *json.Decoder
 
+	// Binary transport.
+	w *wire
+
+	dialed     bool // a connection has existed at some point
 	closed     bool
 	reconnects int
 }
 
 // Dial connects to an Ode server with default options (fail-fast, no
-// timeouts).
+// timeouts, JSON protocol).
 func Dial(addr string) (*Client, error) { return DialOptions(addr, ClientOptions{}) }
 
 // DialOptions connects to an Ode server, retrying the initial dial per
@@ -107,6 +145,7 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 		opts.DialAttempts = 1
 	}
 	c := &Client{addr: addr, opts: opts}
+	c.ops = ops{c: c}
 	if err := c.ensureConn(); err != nil {
 		return nil, err
 	}
@@ -116,6 +155,11 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 // Close drops the connection (the server aborts any open transaction).
 func (c *Client) Close() error {
 	c.closed = true
+	if c.w != nil {
+		c.w.fail(ErrClosed)
+		c.w = nil
+		return nil
+	}
 	if c.conn == nil {
 		return nil
 	}
@@ -131,6 +175,10 @@ func (c *Client) Reconnects() int { return c.reconnects }
 // dropConn discards a connection known (or suspected) broken; the next
 // call redials.
 func (c *Client) dropConn() {
+	if c.w != nil {
+		c.w.fail(errors.New("server: connection dropped"))
+		c.w = nil
+	}
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
@@ -143,7 +191,10 @@ func (c *Client) ensureConn() error {
 	if c.closed {
 		return ErrClosed
 	}
-	if c.conn != nil {
+	if c.w != nil && c.w.broken() {
+		c.w = nil // background transport failure: redial below
+	}
+	if c.conn != nil || c.w != nil {
 		return nil
 	}
 	bo := Backoff{Base: c.opts.RedialBase, Max: c.opts.RedialMax}
@@ -152,12 +203,29 @@ func (c *Client) ensureConn() error {
 		if i > 0 {
 			time.Sleep(bo.Next())
 		}
+		if c.opts.Binary {
+			var w *wire
+			w, err = dialWire(c.addr, c.opts.RequestTimeout)
+			if err == nil {
+				if c.dialed {
+					c.reconnects++
+				}
+				c.dialed = true
+				c.w = w
+				return nil
+			}
+			if errors.Is(err, ErrBinaryDisabled) {
+				break // the server will refuse every retry the same way
+			}
+			continue
+		}
 		var conn net.Conn
 		conn, err = net.DialTimeout("tcp", c.addr, c.opts.RequestTimeout)
 		if err == nil {
-			if c.enc != nil {
-				c.reconnects++ // not the first connection
+			if c.dialed {
+				c.reconnects++
 			}
+			c.dialed = true
 			c.conn = conn
 			c.enc = json.NewEncoder(conn)
 			c.dec = json.NewDecoder(bufio.NewReader(conn))
@@ -168,6 +236,10 @@ func (c *Client) ensureConn() error {
 }
 
 func (c *Client) call(req *Request) (*Response, error) {
+	if c.opts.Binary {
+		call := c.Go(req)
+		return c.await(call)
+	}
 	if err := c.ensureConn(); err != nil {
 		return nil, err
 	}
@@ -186,51 +258,91 @@ func (c *Client) call(req *Request) (*Response, error) {
 	if c.opts.RequestTimeout > 0 {
 		c.conn.SetDeadline(time.Time{})
 	}
-	if !resp.OK {
-		if resp.Redirect != "" {
-			return &resp, &RedirectError{Primary: resp.Redirect, Msg: resp.Error}
-		}
-		if resp.Aborted {
-			return &resp, fmt.Errorf("%w: %s", ErrRemoteAborted, resp.Error)
-		}
-		return &resp, errors.New(resp.Error)
+	return &resp, respError(&resp)
+}
+
+// await applies RequestTimeout to a pipelined call. A timeout is a
+// transport failure — the response may yet arrive, but at-most-once
+// means we must not leave it matchable — so the whole connection drops,
+// failing the call (and everything else in flight).
+func (c *Client) await(call *Call) (*Response, error) {
+	if c.opts.RequestTimeout <= 0 {
+		return call.Wait()
 	}
-	return &resp, nil
+	select {
+	case <-call.Done():
+	case <-time.After(c.opts.RequestTimeout):
+		c.dropConn()
+	}
+	return call.Wait()
+}
+
+// Go sends req without waiting for the response: the returned Call
+// completes when the response frame arrives (binary protocol), letting
+// a caller keep many requests in flight on one session — per-session
+// responses still arrive in order. On the JSON protocol there is no
+// request ID to match a response by, so Go degrades to a synchronous
+// round trip whose Call is already complete.
+func (c *Client) Go(req *Request) *Call {
+	if !c.opts.Binary {
+		resp, err := c.call(req)
+		call := newCall(req)
+		call.complete(resp, err)
+		return call
+	}
+	if err := c.ensureConn(); err != nil {
+		call := newCall(req)
+		call.complete(nil, err)
+		return call
+	}
+	return c.w.send(0, req)
+}
+
+// caller is the transport hook behind the shared op wrappers: Client
+// and MuxSession each route call through their own session/connection.
+type caller interface {
+	call(req *Request) (*Response, error)
+}
+
+// ops implements the op-level API — one wrapper per wire op — shared by
+// Client and MuxSession so the two session kinds cannot drift apart.
+type ops struct {
+	c caller
 }
 
 // Begin opens a transaction.
-func (c *Client) Begin() error {
-	_, err := c.call(&Request{Op: "begin"})
+func (o ops) Begin() error {
+	_, err := o.c.call(&Request{Op: "begin"})
 	return err
 }
 
 // BeginSnapshot opens a lock-free read-only snapshot transaction:
 // reads see the store as of the pinned commit LSN, and every mutating
 // op fails with the server's snapshot-write error until Commit/Abort.
-func (c *Client) BeginSnapshot() error {
-	_, err := c.call(&Request{Op: "begin", Snapshot: true})
+func (o ops) BeginSnapshot() error {
+	_, err := o.c.call(&Request{Op: "begin", Snapshot: true})
 	return err
 }
 
 // Commit commits the open transaction.
-func (c *Client) Commit() error {
-	_, err := c.call(&Request{Op: "commit"})
+func (o ops) Commit() error {
+	_, err := o.c.call(&Request{Op: "commit"})
 	return err
 }
 
 // Abort rolls the open transaction back.
-func (c *Client) Abort() error {
-	_, err := c.call(&Request{Op: "abort"})
+func (o ops) Abort() error {
+	_, err := o.c.call(&Request{Op: "abort"})
 	return err
 }
 
 // Create makes a persistent object from a JSON-encodable value.
-func (c *Client) Create(class string, value any) (uint64, error) {
+func (o ops) Create(class string, value any) (uint64, error) {
 	raw, err := json.Marshal(value)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.call(&Request{Op: "create", Class: class, Value: raw})
+	resp, err := o.c.call(&Request{Op: "create", Class: class, Value: raw})
 	if err != nil {
 		return 0, err
 	}
@@ -238,8 +350,8 @@ func (c *Client) Create(class string, value any) (uint64, error) {
 }
 
 // Get loads an object's state into out (a JSON-decodable pointer).
-func (c *Client) Get(ref uint64, out any) error {
-	resp, err := c.call(&Request{Op: "get", Ref: ref})
+func (o ops) Get(ref uint64, out any) error {
+	resp, err := o.c.call(&Request{Op: "get", Ref: ref})
 	if err != nil {
 		return err
 	}
@@ -247,8 +359,8 @@ func (c *Client) Get(ref uint64, out any) error {
 }
 
 // Invoke calls a member function through the persistent reference.
-func (c *Client) Invoke(ref uint64, method string, args ...any) (any, error) {
-	resp, err := c.call(&Request{Op: "invoke", Ref: ref, Method: method, Args: args})
+func (o ops) Invoke(ref uint64, method string, args ...any) (any, error) {
+	resp, err := o.c.call(&Request{Op: "invoke", Ref: ref, Method: method, Args: args})
 	if err != nil {
 		return nil, err
 	}
@@ -256,14 +368,14 @@ func (c *Client) Invoke(ref uint64, method string, args ...any) (any, error) {
 }
 
 // PostUserEvent posts a declared user event.
-func (c *Client) PostUserEvent(ref uint64, event string) error {
-	_, err := c.call(&Request{Op: "post", Ref: ref, Event: event})
+func (o ops) PostUserEvent(ref uint64, event string) error {
+	_, err := o.c.call(&Request{Op: "post", Ref: ref, Event: event})
 	return err
 }
 
 // Activate activates a trigger and returns its id.
-func (c *Client) Activate(ref uint64, trigger string, args ...any) (uint64, error) {
-	resp, err := c.call(&Request{Op: "activate", Ref: ref, Trigger: trigger, Args: args})
+func (o ops) Activate(ref uint64, trigger string, args ...any) (uint64, error) {
+	resp, err := o.c.call(&Request{Op: "activate", Ref: ref, Trigger: trigger, Args: args})
 	if err != nil {
 		return 0, err
 	}
@@ -271,14 +383,14 @@ func (c *Client) Activate(ref uint64, trigger string, args ...any) (uint64, erro
 }
 
 // Deactivate removes a trigger activation.
-func (c *Client) Deactivate(id uint64) error {
-	_, err := c.call(&Request{Op: "deactivate", ID: id})
+func (o ops) Deactivate(id uint64) error {
+	_, err := o.c.call(&Request{Op: "deactivate", ID: id})
 	return err
 }
 
 // ActiveTriggers lists activations on ref as raw JSON.
-func (c *Client) ActiveTriggers(ref uint64) (json.RawMessage, error) {
-	resp, err := c.call(&Request{Op: "triggers", Ref: ref})
+func (o ops) ActiveTriggers(ref uint64) (json.RawMessage, error) {
+	resp, err := o.c.call(&Request{Op: "triggers", Ref: ref})
 	if err != nil {
 		return nil, err
 	}
@@ -286,14 +398,14 @@ func (c *Client) ActiveTriggers(ref uint64) (json.RawMessage, error) {
 }
 
 // ClusterAdd adds ref to a cluster.
-func (c *Client) ClusterAdd(cluster string, ref uint64) error {
-	_, err := c.call(&Request{Op: "clusteradd", Cluster: cluster, Ref: ref})
+func (o ops) ClusterAdd(cluster string, ref uint64) error {
+	_, err := o.c.call(&Request{Op: "clusteradd", Cluster: cluster, Ref: ref})
 	return err
 }
 
 // ClusterScan lists a cluster's members.
-func (c *Client) ClusterScan(cluster string) ([]uint64, error) {
-	resp, err := c.call(&Request{Op: "scan", Cluster: cluster})
+func (o ops) ClusterScan(cluster string) ([]uint64, error) {
+	resp, err := o.c.call(&Request{Op: "scan", Cluster: cluster})
 	if err != nil {
 		return nil, err
 	}
@@ -302,4 +414,32 @@ func (c *Client) ClusterScan(cluster string) ([]uint64, error) {
 
 // Call sends an arbitrary request — the escape hatch for extension ops
 // (repl.status, repl.promote) registered through Options.ExtraOps.
-func (c *Client) Call(req *Request) (*Response, error) { return c.call(req) }
+func (o ops) Call(req *Request) (*Response, error) { return o.c.call(req) }
+
+// Session is the op-level API every client session implements: a
+// single-connection Client or one MuxSession of a shared-connection
+// Mux. The cross-protocol equivalence tests run the whole server suite
+// against each implementation.
+type Session interface {
+	Begin() error
+	BeginSnapshot() error
+	Commit() error
+	Abort() error
+	Create(class string, value any) (uint64, error)
+	Get(ref uint64, out any) error
+	Invoke(ref uint64, method string, args ...any) (any, error)
+	PostUserEvent(ref uint64, event string) error
+	Activate(ref uint64, trigger string, args ...any) (uint64, error)
+	Deactivate(id uint64) error
+	ActiveTriggers(ref uint64) (json.RawMessage, error)
+	ClusterAdd(cluster string, ref uint64) error
+	ClusterScan(cluster string) ([]uint64, error)
+	Call(req *Request) (*Response, error)
+	Go(req *Request) *Call
+	Close() error
+}
+
+var (
+	_ Session = (*Client)(nil)
+	_ Session = (*MuxSession)(nil)
+)

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"io"
+
+	"ode/internal/obs"
+)
+
+// serverMetrics is the server's wire-level observability surface,
+// registered into the database's obs.Registry so it shows up in
+// /metrics, ode-inspect, and the doc-coverage test alongside the
+// engine's own counters. Registration uses Ensure* because several
+// Servers can be constructed over one database (tests do this when
+// bouncing listeners); they then share one set of counters, which is
+// the right reading anyway — the metrics describe the process's server
+// surface, not one listener.
+type serverMetrics struct {
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	framesIn      *obs.Counter
+	framesOut     *obs.Counter
+	connsJSON     *obs.Counter
+	connsBinary   *obs.Counter
+	oversized     *obs.Counter
+	pipelineDepth *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		bytesIn:       reg.EnsureCounter("server.bytes_in", "bytes", "bytes read from client connections (both protocols)"),
+		bytesOut:      reg.EnsureCounter("server.bytes_out", "bytes", "bytes written to client connections (both protocols)"),
+		framesIn:      reg.EnsureCounter("server.frames_in", "count", "binary frames received (requests, close frames)"),
+		framesOut:     reg.EnsureCounter("server.frames_out", "count", "binary frames sent (responses)"),
+		connsJSON:     reg.EnsureCounter("server.conns_json", "count", "connections served over the newline-delimited JSON protocol"),
+		connsBinary:   reg.EnsureCounter("server.conns_binary", "count", "connections upgraded to ODE2 binary framing"),
+		oversized:     reg.EnsureCounter("server.oversized_requests", "count", "requests rejected for exceeding MaxRequestBytes"),
+		pipelineDepth: reg.EnsureHistogram("server.pipeline_depth", "count", "histogram: requests in flight on a binary connection, observed as each frame arrives"),
+	}
+}
+
+// countingReader/countingWriter wrap a connection so every byte moved
+// on the wire lands in server.bytes_in / server.bytes_out regardless of
+// protocol.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.c.Add(uint64(n))
+	}
+	return n, err
+}

@@ -5,12 +5,17 @@
 // several network clients interleave transactions against one Database
 // and jointly advance each other's trigger patterns.
 //
-// The protocol is newline-delimited JSON. Each connection is one session
-// holding at most one open transaction (the O++ execution model: a
-// client is a single-threaded application). Class definitions — Go
-// functions — cannot travel over the wire; the server binary links the
-// application's classes, exactly as an Ode application links the object
-// manager (§2).
+// Two protocols share the listen port (docs/PROTOCOL.md is the
+// canonical spec for both). The default is newline-delimited JSON: each
+// connection is one session holding at most one open transaction (the
+// O++ execution model: a client is a single-threaded application), one
+// request in flight at a time. A client whose first four bytes are
+// "ODE2" upgrades the connection to length-prefixed binary framing
+// (frame.go) with request IDs, pipelining, and multiplexed sessions —
+// same ops, same JSON payloads, framed instead of line-delimited.
+// Class definitions — Go functions — cannot travel over the wire; the
+// server binary links the application's classes, exactly as an Ode
+// application links the object manager (§2).
 //
 // Request:  {"op":"invoke","ref":18,"method":"Buy","args":[100]}
 // Response: {"ok":true,"result":...}  or  {"ok":false,"error":"..."}
@@ -48,6 +53,26 @@ var ErrInvalidTraceRate = errors.New("server: invalid trace rate (want -1 to dis
 // the replica gate there is no redirect — the same server accepts the
 // write on a regular transaction.
 var ErrSnapshotWrite = errors.New("server: transaction is a snapshot (read-only); begin a regular transaction for writes")
+
+// ErrRequestTooLarge reports a request bigger than MaxRequestBytes. On
+// the JSON protocol the server sends it as an error response and then
+// closes (the line framing can no longer be trusted); on the binary
+// protocol the frame header still delimits the request exactly, so the
+// payload is skipped, the error response carries the request's id, and
+// the connection stays up.
+var ErrRequestTooLarge = errors.New("server: request too large")
+
+// ErrBinaryDisabled reports an ODE2 handshake against a server running
+// with Options.DisableBinary (ode-server -protocol json). The server
+// answers with this error as a JSON response line and closes, so a
+// binary client fails fast instead of hanging on the handshake echo.
+var ErrBinaryDisabled = errors.New("server: binary protocol disabled (server is JSON-only)")
+
+// ErrStreamOverBinary reports a StreamOps op (repl.subscribe,
+// repl.recon) sent over binary framing. Stream ops take over the raw
+// connection with their own frame grammar (docs/REPLICATION.md), which
+// cannot nest inside ODE2 frames; dial a plain JSON connection instead.
+var ErrStreamOverBinary = errors.New("server: stream ops require the JSON protocol")
 
 // Request is one client command.
 type Request struct {
@@ -126,12 +151,18 @@ type Options struct {
 	// after the request line the handler owns the connection and the
 	// normal request loop never resumes.
 	StreamOps map[string]StreamHandler
+	// DisableBinary refuses the ODE2 handshake (ode-server
+	// -protocol json): a client attempting the upgrade gets
+	// ErrBinaryDisabled as a JSON response line and the connection is
+	// closed. The JSON protocol is unaffected.
+	DisableBinary bool
 }
 
 // Server serves one database to many connections.
 type Server struct {
 	db   *core.Database
 	opts Options
+	m    *serverMetrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -148,7 +179,12 @@ func NewWithOptions(db *core.Database, opts Options) *Server {
 	if opts.MaxRequestBytes <= 0 {
 		opts.MaxRequestBytes = DefaultMaxRequestBytes
 	}
-	return &Server{db: db, opts: opts, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		db:    db,
+		opts:  opts,
+		m:     newServerMetrics(db.Observability()),
+		conns: make(map[net.Conn]struct{}),
+	}
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -239,24 +275,58 @@ func (s *Server) Close() error {
 	return err
 }
 
-// session is one connection's state.
+// session is one connection's (or, over binary framing, one sid's)
+// state.
 type session struct {
+	srv     *Server
 	db      *core.Database
 	tx      *txn.Txn
 	primary string // Options.PrimaryAddr: redirect target for writes on a replica
+	proto   string // negotiated transport, "json" or "binary" (the proto op reports it)
 }
 
-// serve runs the request loop for one connection. Requests are read a
-// line at a time so the size cap applies before any JSON is parsed.
+// serve sniffs the protocol for one connection — the first four bytes
+// upgrade to binary framing if they are the ODE2 magic (every JSON
+// request line starts with '{', so the magic cannot collide) — and runs
+// the matching request loop.
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
-	sess := &session{db: s.db, primary: s.opts.PrimaryAddr}
+	if s.opts.IdleTimeout > 0 {
+		// Cover the handshake sniff itself; the per-protocol loops
+		// re-arm the deadline per request.
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+	br := bufio.NewReader(&countingReader{r: conn, c: s.m.bytesIn})
+	enc := json.NewEncoder(&countingWriter{w: conn, c: s.m.bytesOut})
+	if magic, err := br.Peek(len(protoMagic)); err == nil && string(magic) == protoMagic {
+		if s.opts.DisableBinary {
+			enc.Encode(&Response{Error: ErrBinaryDisabled.Error()})
+			return
+		}
+		br.Discard(len(protoMagic))
+		cw := &countingWriter{w: conn, c: s.m.bytesOut}
+		if _, err := cw.Write([]byte(protoMagic)); err != nil {
+			return
+		}
+		s.m.connsBinary.Inc()
+		s.serveBinary(conn, br, cw)
+		return
+	}
+	s.m.connsJSON.Inc()
+	s.serveJSON(conn, br, enc)
+}
+
+// serveJSON runs the newline-delimited JSON request loop. Requests are
+// read a line at a time so the size cap applies before any JSON is
+// parsed.
+func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader, enc *json.Encoder) {
+	sess := &session{srv: s, db: s.db, primary: s.opts.PrimaryAddr, proto: "json"}
 	defer func() {
 		if sess.tx != nil && sess.tx.State() == txn.Active {
 			sess.tx.Abort()
 		}
 	}()
-	sc := bufio.NewScanner(conn)
+	sc := bufio.NewScanner(br)
 	// Scanner's effective token limit is max(cap(buf), max), so the
 	// initial buffer must not exceed the configured cap.
 	initial := 4096
@@ -264,14 +334,16 @@ func (s *Server) serve(conn net.Conn) {
 		initial = s.opts.MaxRequestBytes
 	}
 	sc.Buffer(make([]byte, initial), s.opts.MaxRequestBytes)
-	enc := json.NewEncoder(conn)
 	for {
 		if s.opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		}
 		if !sc.Scan() {
 			if errors.Is(sc.Err(), bufio.ErrTooLong) {
-				enc.Encode(&Response{Error: fmt.Sprintf("request exceeds %d bytes", s.opts.MaxRequestBytes)})
+				// Typed so clients can match it; then hang up — with the
+				// oversized line half-consumed, line framing is gone.
+				s.m.oversized.Inc()
+				enc.Encode(&Response{Error: fmt.Sprintf("%v: exceeds %d bytes", ErrRequestTooLarge, s.opts.MaxRequestBytes)})
 			}
 			return // disconnect, idle deadline, or oversized request
 		}
@@ -517,8 +589,53 @@ func (sess *session) handle(req *Request) *Response {
 		// Export the process-wide flight recorder's ring, oldest first.
 		// No transaction needed; the recorder is always on.
 		return &Response{OK: true, Result: obs.Flight().Snapshot()}
+	case "proto":
+		// Report the transport this very connection negotiated plus the
+		// server's wire counters (ode-inspect -wire). No transaction
+		// needed.
+		st := ProtoStatus{Protocol: sess.proto}
+		if s := sess.srv; s != nil {
+			st.BinaryEnabled = !s.opts.DisableBinary
+			st.MaxRequestBytes = s.opts.MaxRequestBytes
+			st.ConnsJSON = s.m.connsJSON.Value()
+			st.ConnsBinary = s.m.connsBinary.Value()
+			st.FramesIn = s.m.framesIn.Value()
+			st.FramesOut = s.m.framesOut.Value()
+			st.BytesIn = s.m.bytesIn.Value()
+			st.BytesOut = s.m.bytesOut.Value()
+		}
+		return &Response{OK: true, Result: st}
 	default:
 		return sess.fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// ProtoStatus is the proto op's result: which transport the asking
+// connection negotiated, and the server-wide wire counters. Every JSON
+// field here is documented in docs/PROTOCOL.md (enforced by the
+// protocol doc-coverage test).
+type ProtoStatus struct {
+	Protocol        string `json:"protocol"` // "json" or "binary"
+	BinaryEnabled   bool   `json:"binary_enabled"`
+	MaxRequestBytes int    `json:"max_request_bytes"`
+	ConnsJSON       uint64 `json:"conns_json"`
+	ConnsBinary     uint64 `json:"conns_binary"`
+	FramesIn        uint64 `json:"frames_in"`
+	FramesOut       uint64 `json:"frames_out"`
+	BytesIn         uint64 `json:"bytes_in"`
+	BytesOut        uint64 `json:"bytes_out"`
+}
+
+// BuiltinOps returns the name of every op the session dispatcher
+// handles, sorted. It exists so the protocol doc-coverage test (and any
+// future introspection surface) enumerates the real dispatch table
+// instead of a hand-maintained copy; adding a case to handle() without
+// extending this list fails TestBuiltinOpsComplete.
+func BuiltinOps() []string {
+	return []string{
+		"abort", "activate", "begin", "clusteradd", "commit", "create",
+		"deactivate", "flight", "get", "invoke", "metrics", "post",
+		"proto", "scan", "trace", "triggers",
 	}
 }
 

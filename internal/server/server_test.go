@@ -90,275 +90,342 @@ func dial(t *testing.T, addr string) *Client {
 	return c
 }
 
-func TestClientLifecycle(t *testing.T) {
-	addr := startServer(t)
-	c := dial(t, addr)
+// transport abstracts how a test obtains a Session, so the whole op
+// suite below runs unchanged over every protocol the server speaks:
+//
+//	json   — one JSON connection per session (the original client)
+//	binary — one ODE2 connection per session
+//	mux    — every session is a sid on ONE shared ODE2 connection
+//
+// Identical observable behavior across all three is the cross-protocol
+// equivalence proof the binary transport ships under.
+type transport struct {
+	name string
+	addr string
+	mux  *Mux // set in mux mode: sessions share it
+}
 
-	if err := c.Begin(); err != nil {
-		t.Fatal(err)
+// newSession opens a session without a testing.T (for use inside test
+// goroutines); the caller closes it.
+func (tr *transport) newSession() (Session, error) {
+	if tr.mux != nil {
+		return tr.mux.Session(), nil
 	}
-	ref, err := c.Create("CredCard", &CredCard{Holder: "net", CredLim: 1000, GoodHist: true})
+	return DialOptions(tr.addr, ClientOptions{Binary: tr.name == "binary"})
+}
+
+// dial opens a session tied to the test's lifetime.
+func (tr *transport) dial(t *testing.T) Session {
+	t.Helper()
+	s, err := tr.newSession()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.ClusterAdd("cards", ref); err != nil {
-		t.Fatal(err)
-	}
-	ret, err := c.Invoke(ref, "Buy", 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ret.(float64) != 100 {
-		t.Fatalf("Buy returned %v", ret)
-	}
-	if err := c.Commit(); err != nil {
-		t.Fatal(err)
-	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
 
-	if err := c.Begin(); err != nil {
-		t.Fatal(err)
-	}
-	var card CredCard
-	if err := c.Get(ref, &card); err != nil {
-		t.Fatal(err)
-	}
-	if card.CurrBal != 100 || card.Holder != "net" {
-		t.Fatalf("card = %+v", card)
-	}
-	refs, err := c.ClusterScan("cards")
-	if err != nil || len(refs) != 1 || refs[0] != ref {
-		t.Fatalf("scan = %v, %v", refs, err)
-	}
-	if err := c.Abort(); err != nil {
-		t.Fatal(err)
+// forEachTransport runs fn as a subtest per transport, each against a
+// fresh server.
+func forEachTransport(t *testing.T, fn func(t *testing.T, tr *transport)) {
+	for _, name := range []string{"json", "binary", "mux"} {
+		t.Run(name, func(t *testing.T) {
+			tr := &transport{name: name, addr: startServer(t)}
+			if name == "mux" {
+				m, err := DialMux(tr.addr, ClientOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { m.Close() })
+				tr.mux = m
+			}
+			fn(t, tr)
+		})
 	}
 }
 
+func TestClientLifecycle(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, tr *transport) {
+		c := tr.dial(t)
+
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := c.Create("CredCard", &CredCard{Holder: "net", CredLim: 1000, GoodHist: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ClusterAdd("cards", ref); err != nil {
+			t.Fatal(err)
+		}
+		ret, err := c.Invoke(ref, "Buy", 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret.(float64) != 100 {
+			t.Fatalf("Buy returned %v", ret)
+		}
+		if err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		var card CredCard
+		if err := c.Get(ref, &card); err != nil {
+			t.Fatal(err)
+		}
+		if card.CurrBal != 100 || card.Holder != "net" {
+			t.Fatalf("card = %+v", card)
+		}
+		refs, err := c.ClusterScan("cards")
+		if err != nil || len(refs) != 1 || refs[0] != ref {
+			t.Fatalf("scan = %v, %v", refs, err)
+		}
+		if err := c.Abort(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 func TestTriggerAbortOverWire(t *testing.T) {
-	addr := startServer(t)
-	c := dial(t, addr)
+	forEachTransport(t, func(t *testing.T, tr *transport) {
+		c := tr.dial(t)
 
-	c.Begin()
-	ref, _ := c.Create("CredCard", &CredCard{CredLim: 100, GoodHist: true})
-	if _, err := c.Activate(ref, "DenyCredit"); err != nil {
-		t.Fatal(err)
-	}
-	c.Commit()
+		c.Begin()
+		ref, _ := c.Create("CredCard", &CredCard{CredLim: 100, GoodHist: true})
+		if _, err := c.Activate(ref, "DenyCredit"); err != nil {
+			t.Fatal(err)
+		}
+		c.Commit()
 
-	c.Begin()
-	if _, err := c.Invoke(ref, "Buy", 500); err != nil {
-		t.Fatal(err) // invoke succeeds; the doom lands at commit
-	}
-	err := c.Commit()
-	if !errors.Is(err, ErrRemoteAborted) {
-		t.Fatalf("commit over wire = %v, want ErrRemoteAborted", err)
-	}
+		c.Begin()
+		if _, err := c.Invoke(ref, "Buy", 500); err != nil {
+			t.Fatal(err) // invoke succeeds; the doom lands at commit
+		}
+		err := c.Commit()
+		if !errors.Is(err, ErrRemoteAborted) {
+			t.Fatalf("commit over wire = %v, want ErrRemoteAborted", err)
+		}
 
-	c.Begin()
-	var card CredCard
-	c.Get(ref, &card)
-	c.Abort()
-	if card.CurrBal != 0 {
-		t.Fatalf("denied purchase persisted: %v", card.CurrBal)
-	}
+		c.Begin()
+		var card CredCard
+		c.Get(ref, &card)
+		c.Abort()
+		if card.CurrBal != 0 {
+			t.Fatalf("denied purchase persisted: %v", card.CurrBal)
+		}
+	})
 }
 
 func TestGlobalCompositeAcrossClients(t *testing.T) {
 	// The §7 scenario live: application A arms AutoRaiseLimit's pattern,
-	// application B completes it.
-	addr := startServer(t)
-	a := dial(t, addr)
-	b := dial(t, addr)
+	// application B completes it. In mux mode A and B are two sids on
+	// one connection — the same global composite, one TCP stream.
+	forEachTransport(t, func(t *testing.T, tr *transport) {
+		a := tr.dial(t)
+		b := tr.dial(t)
 
-	a.Begin()
-	ref, _ := a.Create("CredCard", &CredCard{CredLim: 1000, GoodHist: true})
-	if _, err := a.Activate(ref, "AutoRaiseLimit", 500); err != nil {
-		t.Fatal(err)
-	}
-	a.Commit()
+		a.Begin()
+		ref, _ := a.Create("CredCard", &CredCard{CredLim: 1000, GoodHist: true})
+		if _, err := a.Activate(ref, "AutoRaiseLimit", 500); err != nil {
+			t.Fatal(err)
+		}
+		a.Commit()
 
-	a.Begin()
-	if _, err := a.Invoke(ref, "Buy", 900); err != nil { // arms
-		t.Fatal(err)
-	}
-	if err := a.Commit(); err != nil {
-		t.Fatal(err)
-	}
+		a.Begin()
+		if _, err := a.Invoke(ref, "Buy", 900); err != nil { // arms
+			t.Fatal(err)
+		}
+		if err := a.Commit(); err != nil {
+			t.Fatal(err)
+		}
 
-	b.Begin()
-	if _, err := b.Invoke(ref, "PayBill", 100); err != nil { // fires
-		t.Fatal(err)
-	}
-	if err := b.Commit(); err != nil {
-		t.Fatal(err)
-	}
+		b.Begin()
+		if _, err := b.Invoke(ref, "PayBill", 100); err != nil { // fires
+			t.Fatal(err)
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatal(err)
+		}
 
-	b.Begin()
-	var card CredCard
-	b.Get(ref, &card)
-	b.Abort()
-	if card.CredLim != 1500 {
-		t.Fatalf("cross-client composite did not fire: limit %v", card.CredLim)
-	}
+		b.Begin()
+		var card CredCard
+		b.Get(ref, &card)
+		b.Abort()
+		if card.CredLim != 1500 {
+			t.Fatalf("cross-client composite did not fire: limit %v", card.CredLim)
+		}
+	})
 }
 
 func TestSessionErrors(t *testing.T) {
-	addr := startServer(t)
-	c := dial(t, addr)
+	forEachTransport(t, func(t *testing.T, tr *transport) {
+		c := tr.dial(t)
 
-	// Ops without a transaction.
-	if _, err := c.Invoke(1, "Buy", 1); err == nil {
-		t.Fatal("invoke without begin succeeded")
-	}
-	if err := c.Commit(); err == nil {
-		t.Fatal("commit without begin succeeded")
-	}
-	// Double begin.
-	c.Begin()
-	if err := c.Begin(); err == nil {
-		t.Fatal("double begin succeeded")
-	}
-	// Unknown class / op-level errors surface as errors, not disconnects.
-	if _, err := c.Create("NoSuch", nil); err == nil {
-		t.Fatal("unknown class accepted")
-	}
-	if _, err := c.Invoke(99999, "Buy", 1); err == nil {
-		t.Fatal("unknown ref accepted")
-	}
-	// The connection is still usable.
-	ref, err := c.Create("CredCard", &CredCard{CredLim: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ref == 0 {
-		t.Fatal("zero ref")
-	}
-	c.Commit()
+		// Ops without a transaction.
+		if _, err := c.Invoke(1, "Buy", 1); err == nil {
+			t.Fatal("invoke without begin succeeded")
+		}
+		if err := c.Commit(); err == nil {
+			t.Fatal("commit without begin succeeded")
+		}
+		// Double begin.
+		c.Begin()
+		if err := c.Begin(); err == nil {
+			t.Fatal("double begin succeeded")
+		}
+		// Unknown class / op-level errors surface as errors, not disconnects.
+		if _, err := c.Create("NoSuch", nil); err == nil {
+			t.Fatal("unknown class accepted")
+		}
+		if _, err := c.Invoke(99999, "Buy", 1); err == nil {
+			t.Fatal("unknown ref accepted")
+		}
+		// The connection is still usable.
+		ref, err := c.Create("CredCard", &CredCard{CredLim: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == 0 {
+			t.Fatal("zero ref")
+		}
+		c.Commit()
+	})
 }
 
 func TestDisconnectAbortsOpenTxn(t *testing.T) {
-	addr := startServer(t)
-	a := dial(t, addr)
+	forEachTransport(t, func(t *testing.T, tr *transport) {
+		a := tr.dial(t)
 
-	a.Begin()
-	ref, _ := a.Create("CredCard", &CredCard{CredLim: 10})
-	a.Commit()
+		a.Begin()
+		ref, _ := a.Create("CredCard", &CredCard{CredLim: 10})
+		a.Commit()
 
-	// Client b opens a txn, writes, and vanishes.
-	b := dial(t, addr)
-	b.Begin()
-	if _, err := b.Invoke(ref, "Buy", 5); err != nil {
-		t.Fatal(err)
-	}
-	b.Close()
+		// Client b opens a txn, writes, and vanishes. (In mux mode
+		// "vanishing" is a close-session frame: the shared connection
+		// lives on, b's transaction must not.)
+		b, err := tr.newSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Begin()
+		if _, err := b.Invoke(ref, "Buy", 5); err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
 
-	// Client a can still lock and read the object (b's locks released),
-	// and b's write is gone.
-	a.Begin()
-	var card CredCard
-	if err := a.Get(ref, &card); err != nil {
-		t.Fatal(err)
-	}
-	a.Abort()
-	if card.CurrBal != 0 {
-		t.Fatalf("disconnected client's write persisted: %v", card.CurrBal)
-	}
+		// Client a can still lock and read the object (b's locks released),
+		// and b's write is gone.
+		a.Begin()
+		var card CredCard
+		if err := a.Get(ref, &card); err != nil {
+			t.Fatal(err)
+		}
+		a.Abort()
+		if card.CurrBal != 0 {
+			t.Fatalf("disconnected client's write persisted: %v", card.CurrBal)
+		}
+	})
 }
 
 func TestConcurrentClients(t *testing.T) {
-	addr := startServer(t)
-	setup := dial(t, addr)
-	setup.Begin()
-	ref, err := setup.Create("CredCard", &CredCard{CredLim: 1e12, GoodHist: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	setup.Commit()
+	forEachTransport(t, func(t *testing.T, tr *transport) {
+		setup := tr.dial(t)
+		setup.Begin()
+		ref, err := setup.Create("CredCard", &CredCard{CredLim: 1e12, GoodHist: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup.Commit()
 
-	const clients = 6
-	const perClient = 20
-	var wg sync.WaitGroup
-	errs := make(chan error, clients)
-	for i := 0; i < clients; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c, err := Dial(addr)
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer c.Close()
-			for j := 0; j < perClient; j++ {
-				for {
-					if err := c.Begin(); err != nil {
-						errs <- err
-						return
-					}
-					if _, err := c.Invoke(ref, "Buy", 1); err != nil {
-						c.Abort()
-						if errors.Is(err, ErrRemoteAborted) {
-							continue
-						}
-						errs <- err
-						return
-					}
-					if err := c.Commit(); err != nil {
-						if errors.Is(err, ErrRemoteAborted) {
-							continue
-						}
-						errs <- err
-						return
-					}
-					break
+		const clients = 6
+		const perClient = 20
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := tr.newSession()
+				if err != nil {
+					errs <- err
+					return
 				}
-			}
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
-	}
+				defer c.Close()
+				for j := 0; j < perClient; j++ {
+					for {
+						if err := c.Begin(); err != nil {
+							errs <- err
+							return
+						}
+						if _, err := c.Invoke(ref, "Buy", 1); err != nil {
+							c.Abort()
+							if errors.Is(err, ErrRemoteAborted) {
+								continue
+							}
+							errs <- err
+							return
+						}
+						if err := c.Commit(); err != nil {
+							if errors.Is(err, ErrRemoteAborted) {
+								continue
+							}
+							errs <- err
+							return
+						}
+						break
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
 
-	check := dial(t, addr)
-	check.Begin()
-	var card CredCard
-	check.Get(ref, &card)
-	check.Abort()
-	if card.CurrBal != clients*perClient {
-		t.Fatalf("balance = %v, want %d", card.CurrBal, clients*perClient)
-	}
+		check := tr.dial(t)
+		check.Begin()
+		var card CredCard
+		check.Get(ref, &card)
+		check.Abort()
+		if card.CurrBal != clients*perClient {
+			t.Fatalf("balance = %v, want %d", card.CurrBal, clients*perClient)
+		}
+	})
 }
 
 func TestActiveTriggersOverWire(t *testing.T) {
-	addr := startServer(t)
-	c := dial(t, addr)
-	c.Begin()
-	ref, _ := c.Create("CredCard", &CredCard{CredLim: 100})
-	id, err := c.Activate(ref, "DenyCredit")
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw, err := c.ActiveTriggers(ref)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var infos []map[string]any
-	if err := json.Unmarshal(raw, &infos); err != nil {
-		t.Fatal(err)
-	}
-	if len(infos) != 1 || infos[0]["Trigger"] != "DenyCredit" {
-		t.Fatalf("triggers = %s", raw)
-	}
-	if err := c.Deactivate(id); err != nil {
-		t.Fatal(err)
-	}
-	raw, _ = c.ActiveTriggers(ref)
-	infos = nil
-	json.Unmarshal(raw, &infos)
-	if len(infos) != 0 {
-		t.Fatalf("after deactivate: %s", raw)
-	}
-	c.Commit()
+	forEachTransport(t, func(t *testing.T, tr *transport) {
+		c := tr.dial(t)
+		c.Begin()
+		ref, _ := c.Create("CredCard", &CredCard{CredLim: 100})
+		id, err := c.Activate(ref, "DenyCredit")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := c.ActiveTriggers(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var infos []map[string]any
+		if err := json.Unmarshal(raw, &infos); err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 1 || infos[0]["Trigger"] != "DenyCredit" {
+			t.Fatalf("triggers = %s", raw)
+		}
+		if err := c.Deactivate(id); err != nil {
+			t.Fatal(err)
+		}
+		raw, _ = c.ActiveTriggers(ref)
+		infos = nil
+		json.Unmarshal(raw, &infos)
+		if len(infos) != 0 {
+			t.Fatalf("after deactivate: %s", raw)
+		}
+		c.Commit()
+	})
 }
