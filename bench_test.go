@@ -83,6 +83,17 @@ func writeBenchOut() {
 			}
 		}
 	}
+	if e24 := benchRecords["e24_shard"]; e24 != nil {
+		base := e24["postings_per_sec/shards=1"]
+		for _, shards := range experiments.E24ShardGrid {
+			if shards == 1 {
+				continue
+			}
+			if v := e24[fmt.Sprintf("postings_per_sec/shards=%d", shards)]; base > 0 && v > 0 {
+				e24[fmt.Sprintf("ratio/shards=%d", shards)] = v / base
+			}
+		}
+	}
 	if e21 := benchRecords["e21_snapshot_reads"]; e21 != nil {
 		for _, readers := range e21ReaderGrid {
 			base := e21[fmt.Sprintf("baseline/readers=%d", readers)]
@@ -1082,6 +1093,38 @@ func BenchmarkE23Wire(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// --- E24: horizontal sharding ---------------------------------------------------
+
+// BenchmarkE24Shard measures routed transaction throughput through one
+// ode-router as the shard fleet behind it grows 1→2→4: the E23
+// transaction workload with the DenyCredit trigger active, 16
+// pipelining binary clients, and each shard's store carrying E24's
+// emulated per-node service time (a node is the paper's single-process
+// Ode, §6; see internal/experiments/e24.go). The shards=N / shards=1
+// ratios are the machine-independent numbers BENCH_shard.json commits
+// and CI's bench gate tracks. Run with ODE_BENCH_OUT=BENCH_shard.json
+// -bench E24Shard -benchtime 1x to regenerate the committed numbers.
+func BenchmarkE24Shard(b *testing.B) {
+	const clients, opsPerTxn, perTxns = 16, 4, 100
+	for _, shards := range experiments.E24ShardGrid {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			env, err := experiments.NewShardEnv(shards, clients)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(env.Close)
+			for i := 0; i < b.N; i++ {
+				rate, err := env.MeasureShardTxns(perTxns, opsPerTxn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rate, "postings/s")
+				recordBench("e24_shard", fmt.Sprintf("postings_per_sec/shards=%d", shards), rate)
+			}
+		})
 	}
 }
 

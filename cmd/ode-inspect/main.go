@@ -84,6 +84,7 @@ func main() {
 	flightAddr := flag.String("flight", "", "fetch the flight-recorder incident ring as JSON from a running ode-server at this address")
 	verifyAddr := flag.String("verify", "", "run an anti-entropy divergence audit on a running replica ode-server at this address (the server's \"repl.verify\" op)")
 	repair := flag.Bool("repair", false, "with -verify: authorize in-place repair of confirmed divergence")
+	verifyClass := flag.String("class", "", "with -verify: scope the audit to one class by name")
 	wireAddr := flag.String("wire", "", "print the negotiated protocol and wire counters of a running ode-server at this address (the server's \"proto\" op)")
 	flag.Parse()
 	if *traces != "" {
@@ -117,7 +118,7 @@ func main() {
 	if *verifyAddr != "" {
 		// Unlike the other fetch modes, a failed audit still carries a
 		// report (which OIDs diverged), so print it before failing.
-		if err := fetchVerify(*verifyAddr, *repair); err != nil {
+		if err := fetchVerify(*verifyAddr, *repair, *verifyClass); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -261,7 +262,7 @@ func main() {
 // fetchVerify runs the repl.verify op and prints the VerifyReport even
 // when the audit failed (diverged, lagged, repair exhausted): the report
 // is the diagnosis, the error is the verdict.
-func fetchVerify(addr string, repair bool) error {
+func fetchVerify(addr string, repair bool, class string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -270,6 +271,9 @@ func fetchVerify(addr string, repair bool) error {
 	req := map[string]any{"op": repl.OpVerify}
 	if repair {
 		req["repair"] = true
+	}
+	if class != "" {
+		req["class"] = class
 	}
 	if err := json.NewEncoder(conn).Encode(req); err != nil {
 		return err

@@ -33,6 +33,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"ode"
@@ -40,6 +41,8 @@ import (
 	"ode/internal/obs"
 	"ode/internal/repl"
 	"ode/internal/server"
+	"ode/internal/shard"
+	"ode/internal/storage/dali"
 	"ode/internal/storage/eos"
 )
 
@@ -117,6 +120,9 @@ func main() {
 	verifyEvery := flag.Duration("verify-every", 0, "replica mode: run a standing anti-entropy audit against the primary at this interval (0 disables)")
 	autoRepair := flag.Bool("auto-repair", false, "replica mode: let the standing audit repair confirmed divergence in place")
 	protocol := flag.String("protocol", "both", `wire protocols to accept: "both" (JSON + ODE2 binary upgrade) or "json"`)
+	shardPeers := flag.String("shard-peers", "", "comma-separated listen addresses of every shard in ring order (enables shard mode; docs/SHARDING.md)")
+	shardIndex := flag.Int("shard-index", -1, "this shard's index into -shard-peers")
+	shardVnodes := flag.Int("shard-vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
 	flag.Parse()
 
 	opts := server.Options{
@@ -134,8 +140,59 @@ func main() {
 
 	var db *ode.Database
 	var err error
+	var stopShard func()
 	health := obs.NewHealth()
 	switch {
+	case *shardPeers != "":
+		addrs := strings.Split(*shardPeers, ",")
+		self := *shardIndex
+		if self < 0 || self >= len(addrs) {
+			log.Fatalf("-shard-index %d out of range for %d peers", self, len(addrs))
+		}
+		if *replicaOf != "" {
+			log.Fatal("-shard-peers and -replica-of are mutually exclusive")
+		}
+		ring, err := shard.NewRing(len(addrs), *shardVnodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The OID filter must be installed before any user allocation so
+		// this shard only ever mints OIDs it owns on the ring.
+		var store interface {
+			SetOIDFilter(func(uint64) bool)
+		}
+		var cdb *core.Database
+		if *mem {
+			m := dali.New()
+			store = m
+			cdb, err = core.NewDatabase(m)
+		} else {
+			var m *eos.Manager
+			m, err = eos.Open(*dbPath, eos.Options{})
+			if err == nil {
+				store = m
+				cdb, err = core.NewDatabase(m)
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.SetOIDFilter(ring.OIDFilter(self))
+		db = cdb
+		if err := db.Register(credCardClass()); err != nil {
+			log.Fatal(err)
+		}
+		if err := cdb.EnableSharding(ring.OIDFilter(self)); err != nil {
+			log.Fatal(err)
+		}
+		fwd, err := shard.NewForwarder(cdb, ring, shard.ForwarderOptions{Self: self, Addrs: addrs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go fwd.Run()
+		stopShard = fwd.Stop
+		opts.ExtraOps = shard.Ops(cdb, ring, self, addrs)
+		log.Printf("shard %d of %d (peers %s)", self, len(addrs), *shardPeers)
 	case *replicaOf != "":
 		// Replica: sync the store from the primary BEFORE building the
 		// database layer, so no local write races the stream; all the
@@ -179,7 +236,17 @@ func main() {
 				return &server.Response{OK: true, Result: rep.Status()}
 			},
 			repl.OpVerify: func(req *server.Request) *server.Response {
-				report, err := rep.Verify(repl.VerifyOptions{Repair: req.Repair})
+				vopts := repl.VerifyOptions{Repair: req.Repair}
+				if req.Class != "" {
+					// Scope the audit to one class: the name resolves to the
+					// same catalog ID on both sides (the catalog replicates).
+					bc, ok := cdb.ClassOf(req.Class)
+					if !ok {
+						return &server.Response{Error: fmt.Sprintf("verify: unknown class %q", req.Class)}
+					}
+					vopts.Class = bc.ID
+				}
+				report, err := rep.Verify(vopts)
 				if err != nil {
 					return &server.Response{Error: err.Error(), Result: report}
 				}
@@ -258,6 +325,9 @@ func main() {
 	<-sig
 	log.Println("shutting down")
 	srv.Close()
+	if stopShard != nil {
+		stopShard()
+	}
 }
 
 // dbCore unwraps the facade alias (ode.Database = core.Database).

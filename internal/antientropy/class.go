@@ -1,0 +1,83 @@
+package antientropy
+
+import "sort"
+
+// ClassItem is an inventory item tagged with the catalog class of the
+// object it digests. Class 0 collects images without a decodable class
+// envelope (system pages, foreign formats); real catalog classes start
+// at 1, so 0 doubles as "unscoped" on the wire.
+type ClassItem struct {
+	Item
+	Class uint32 `json:"c"`
+}
+
+// ClassDigest is one class's slice of a partitioned set digest.
+type ClassDigest struct {
+	Class  uint32    `json:"c"`
+	Digest SetDigest `json:"d"`
+}
+
+// DigestClasses partitions a tagged inventory by class and fingerprints
+// each partition, sorted by class ID. Two stores whose vectors match
+// class-for-class hold identical inventories; a mismatch names exactly
+// the classes worth reconciling, so an audit can scope its digest walk
+// and symbol stream to one class instead of the whole store.
+func DigestClasses(items []ClassItem) []ClassDigest {
+	byClass := map[uint32]*SetDigest{}
+	for _, it := range items {
+		d := byClass[it.Class]
+		if d == nil {
+			d = &SetDigest{}
+			byClass[it.Class] = d
+		}
+		d.Add(it.Item)
+	}
+	out := make([]ClassDigest, 0, len(byClass))
+	for c, d := range byClass {
+		out = append(out, ClassDigest{Class: c, Digest: *d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// FilterClass strips a tagged inventory down to one class's untagged
+// items — the input a class-scoped reconciliation feeds its digest walk
+// and coded-symbol stream. Both sides of an exchange must filter with
+// the same class or the decoded difference is meaningless.
+func FilterClass(items []ClassItem, class uint32) []Item {
+	out := make([]Item, 0, len(items))
+	for _, it := range items {
+		if it.Class == class {
+			out = append(out, it.Item)
+		}
+	}
+	return out
+}
+
+// DiffClasses returns the class IDs whose digests differ between two
+// partitioned walks, sorted. A class present on only one side counts as
+// differing (its counterpart digest is the empty set).
+func DiffClasses(a, b []ClassDigest) []uint32 {
+	b2 := make(map[uint32]SetDigest, len(b))
+	for _, cd := range b {
+		b2[cd.Class] = cd.Digest
+	}
+	diff := map[uint32]bool{}
+	for _, cd := range a {
+		if !cd.Digest.Equal(b2[cd.Class]) {
+			diff[cd.Class] = true
+		}
+		delete(b2, cd.Class)
+	}
+	for c, d := range b2 {
+		if !d.Equal(SetDigest{}) {
+			diff[c] = true
+		}
+	}
+	out := make([]uint32, 0, len(diff))
+	for c := range diff {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

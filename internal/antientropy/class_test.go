@@ -1,0 +1,95 @@
+package antientropy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func tagged(class uint32, keys ...uint64) []ClassItem {
+	out := make([]ClassItem, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, ClassItem{Item: Item{Key: k, Digest: Digest([]byte{byte(k), byte(class)})}, Class: class})
+	}
+	return out
+}
+
+// TestDigestClassesPartition: the partitioned digests are sorted by
+// class, cover every item exactly once, and each class digest equals a
+// direct DigestSet over that class's subset.
+func TestDigestClassesPartition(t *testing.T) {
+	items := append(append(tagged(3, 10, 11), tagged(1, 20, 21, 22)...), tagged(0, 1, 2)...)
+	cds := DigestClasses(items)
+	if len(cds) != 3 {
+		t.Fatalf("got %d partitions, want 3", len(cds))
+	}
+	var total uint64
+	for i, cd := range cds {
+		if i > 0 && cds[i-1].Class >= cd.Class {
+			t.Fatalf("partitions not sorted: %v", cds)
+		}
+		want := DigestSet(FilterClass(items, cd.Class))
+		if !cd.Digest.Equal(want) {
+			t.Fatalf("class %d digest %+v, want %+v", cd.Class, cd.Digest, want)
+		}
+		total += cd.Digest.Count
+	}
+	if total != uint64(len(items)) {
+		t.Fatalf("partitions cover %d items, want %d", total, len(items))
+	}
+}
+
+// TestDigestClassesOrderIndependent: permuting the inventory never
+// changes the partitioned digests.
+func TestDigestClassesOrderIndependent(t *testing.T) {
+	items := append(tagged(1, 5, 6, 7), tagged(2, 8, 9)...)
+	perm := []ClassItem{items[4], items[0], items[3], items[1], items[2]}
+	if !reflect.DeepEqual(DigestClasses(items), DigestClasses(perm)) {
+		t.Fatal("partitioned digests depend on inventory order")
+	}
+}
+
+// TestDiffClassesIsolation: perturbing one class's subset flags exactly
+// that class, leaving every other partition's digest untouched.
+func TestDiffClassesIsolation(t *testing.T) {
+	a := append(append(tagged(1, 10, 11), tagged(2, 20, 21)...), tagged(3, 30)...)
+	b := append([]ClassItem(nil), a...)
+	if got := DiffClasses(DigestClasses(a), DigestClasses(b)); len(got) != 0 {
+		t.Fatalf("identical inventories diff as %v", got)
+	}
+	// Corrupt one class-2 item's content digest.
+	b[2] = ClassItem{Item: Item{Key: b[2].Key, Digest: b[2].Digest ^ 0x5a}, Class: 2}
+	if got := DiffClasses(DigestClasses(a), DigestClasses(b)); !reflect.DeepEqual(got, []uint32{2}) {
+		t.Fatalf("diff = %v, want [2]", got)
+	}
+}
+
+// TestDiffClassesMissingSide: a class present on only one side differs,
+// in both directions; an empty partition on one side is not a diff.
+func TestDiffClassesMissingSide(t *testing.T) {
+	a := append(tagged(1, 10), tagged(4, 40, 41)...)
+	b := tagged(1, 10)
+	if got := DiffClasses(DigestClasses(a), DigestClasses(b)); !reflect.DeepEqual(got, []uint32{4}) {
+		t.Fatalf("diff = %v, want [4]", got)
+	}
+	if got := DiffClasses(DigestClasses(b), DigestClasses(a)); !reflect.DeepEqual(got, []uint32{4}) {
+		t.Fatalf("reverse diff = %v, want [4]", got)
+	}
+	// An explicit empty digest for class 4 equals class 4 being absent.
+	withEmpty := append(DigestClasses(b), ClassDigest{Class: 4})
+	if got := DiffClasses(withEmpty, DigestClasses(b)); len(got) != 0 {
+		t.Fatalf("empty partition treated as divergence: %v", got)
+	}
+}
+
+// TestFilterClassSubset: filtering yields exactly the class's items and
+// an empty (non-nil usable) slice for an unknown class.
+func TestFilterClassSubset(t *testing.T) {
+	items := append(tagged(1, 10, 11), tagged(2, 20)...)
+	got := FilterClass(items, 1)
+	if len(got) != 2 || got[0].Key != 10 || got[1].Key != 11 {
+		t.Fatalf("FilterClass(1) = %v", got)
+	}
+	if got := FilterClass(items, 9); len(got) != 0 {
+		t.Fatalf("FilterClass(9) = %v, want empty", got)
+	}
+}

@@ -210,6 +210,12 @@ type Database struct {
 	causes     *obs.Causes
 	provenance atomic.Bool
 	cc         commitCauser
+
+	// shardSt, when set, makes this database one shard of a cluster:
+	// postings to remote-owned refs are captured to a transactional
+	// outbox instead of applied locally. See shard.go and
+	// docs/SHARDING.md.
+	shardSt atomic.Pointer[shardState]
 }
 
 // commitCauser is the optional storage hook for commit-record cause

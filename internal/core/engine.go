@@ -209,6 +209,11 @@ type txnState struct {
 	ctxCause     obs.Cause
 	originCause  obs.Cause
 	originParent obs.Cause
+
+	// outbox holds this transaction's captured cross-shard postings;
+	// they settle (or vanish) when the transaction resolves. See
+	// shard.go.
+	outbox []OutboxEntry
 }
 
 // state returns (creating on first use) the engine state for tx and wires
@@ -230,11 +235,13 @@ func (db *Database) state(tx *txn.Txn) *txnState {
 	tx.OnBeforeAbort(st.abortProcessing)
 	tx.OnAfterCommit(func() {
 		db.dropState(tx)
+		db.resolveOutbox(st, true)
 		db.runDetached(st.depList, db.met.firedDependent)
 		db.runDetached(st.indepList, db.met.firedIndependent)
 	})
 	tx.OnAfterAbort(func() {
 		db.dropState(tx)
+		db.resolveOutbox(st, false)
 		// The commit record this transaction's cause note was destined
 		// for will never be written.
 		db.clearCommitCause(tx)
@@ -501,7 +508,25 @@ func (db *Database) Invoke(tx *txn.Txn, ref Ref, method string, args ...any) (an
 
 // PostUserEvent posts a declared user-defined event to an object (§4:
 // "user-defined events must be explicitly posted by the application").
+// On a sharded database, a posting addressed to an object another
+// shard owns is captured into the transactional outbox instead — the
+// check runs before the load, which would fail here (the object's
+// image lives on the owner). See shard.go.
 func (db *Database) PostUserEvent(tx *txn.Txn, ref Ref, name string) error {
+	if sh := db.shardSt.Load(); sh != nil && !sh.isLocal(uint64(ref.oid)) {
+		if err := db.writable(); err != nil {
+			return err
+		}
+		return sh.capture(tx, ref, name)
+	}
+	return db.postUserEventLocal(tx, ref, name)
+}
+
+// postUserEventLocal is the local posting path: the object and its
+// trigger states are here. shard ingestion enters through this,
+// bypassing the remote-capture check (a misrouted target simply fails
+// the load with ErrNotFound).
+func (db *Database) postUserEventLocal(tx *txn.Txn, ref Ref, name string) error {
 	if err := db.writable(); err != nil {
 		return err
 	}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"ode/internal/core"
+	"ode/internal/server"
+	"ode/internal/shard"
+	"ode/internal/storage/dali"
+)
+
+// E24 measures what horizontal sharding buys on the server workload
+// (docs/SHARDING.md). One ode-server owns every object and every
+// trigger firing; a shard fleet partitions the OID space on the
+// consistent-hash ring, so disjoint transactions run on disjoint
+// engines, disjoint stores, and disjoint backend links. The measured
+// load is the E23 transaction workload with triggers active — each
+// client commits begin/Buy×k/commit transactions against its own card,
+// with the perpetual DenyCredit trigger evaluating its mask on every
+// posting — driven through one ode-router front speaking the pipelined
+// binary protocol. The router is held constant while the fleet behind
+// it grows 1→2→4, so the curve isolates what partitioning adds; the
+// paper's single-process design (§6) is the flat line this subsystem
+// exists to bend.
+//
+// Node model. The paper's Ode is one process with one thread of
+// control (§6): a node serves transactions serially. On real hardware
+// each shard is such a node on its own machine; in this in-process
+// sweep every shard would share the host's cores, which measures the
+// host, not the topology. So — the same emulation move as E23's
+// fixed-RTT link — each shard's store carries an emulated per-commit
+// service time (dali.SetCommitPace, e24Pace): commits on one node
+// serialize behind it with the CPU idle, nodes overlap freely. What
+// the curve then isolates is exactly the subsystem's claim: the ring
+// spreads load evenly, the router adds no serialization of its own,
+// and aggregate capacity grows with the fleet. An unbalanced ring or a
+// lockstep router would flatten it regardless of the pace.
+
+// e24Window is the per-client pipelining depth through the router.
+const e24Window = 32
+
+// e24Pace is the emulated per-node transaction service time (see the
+// node model above): high enough that a 4-shard fleet's frame handling
+// stays far from saturating the host, so the sweep measures topology,
+// not host CPU.
+const e24Pace = 3 * time.Millisecond
+
+// e24Node is one in-process shard: database, server, forwarder.
+type e24Node struct {
+	db  *core.Database
+	srv *server.Server
+	fwd *shard.Forwarder
+}
+
+// ShardEnv is a running shard fleet plus a router in front, shared by
+// the E24 measurement and BenchmarkE24Shard.
+type ShardEnv struct {
+	nodes  []*e24Node
+	router *shard.Router
+	// Addr is the router's client-facing address.
+	Addr string
+	// Refs holds one committed card per client, spread across shards by
+	// the router's create placement.
+	Refs []uint64
+}
+
+// Close tears the router and every shard down.
+func (e *ShardEnv) Close() {
+	if e.router != nil {
+		e.router.Close()
+	}
+	for _, n := range e.nodes {
+		if n.fwd != nil {
+			n.fwd.Stop()
+		}
+		n.srv.Close()
+		n.db.Close()
+	}
+}
+
+// NewShardEnv boots shards main-memory shard servers with forwarders, a
+// router fronting them, and one committed card per client with the
+// DenyCredit trigger active (activated through the router, so placement
+// and activation both take the production path).
+func NewShardEnv(shards, clients int) (*ShardEnv, error) {
+	ring, err := shard.NewRing(shards, 0)
+	if err != nil {
+		return nil, err
+	}
+	env := &ShardEnv{}
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		m := dali.New()
+		m.SetOIDFilter(ring.OIDFilter(i))
+		m.SetCommitPace(e24Pace)
+		db, err := core.NewDatabase(m)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		db.Causes().SetNode(uint64(0xE2400 + i))
+		if err := db.Register(CredCardClass()); err != nil {
+			db.Close()
+			env.Close()
+			return nil, err
+		}
+		if err := db.EnableSharding(ring.OIDFilter(i)); err != nil {
+			db.Close()
+			env.Close()
+			return nil, err
+		}
+		srv := server.NewWithOptions(db, server.Options{ExtraOps: shard.Ops(db, ring, i, addrs)})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			db.Close()
+			env.Close()
+			return nil, err
+		}
+		addrs[i] = addr
+		env.nodes = append(env.nodes, &e24Node{db: db, srv: srv})
+	}
+	for i, n := range env.nodes {
+		fwd, err := shard.NewForwarder(n.db, ring, shard.ForwarderOptions{Self: i, Addrs: addrs})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		n.fwd = fwd
+		go fwd.Run()
+	}
+
+	rt, err := shard.NewRouter(ring, shard.RouterOptions{Addrs: addrs})
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.router = rt
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.Addr = ln.Addr().String()
+	go rt.Serve(ln)
+
+	setup, err := server.DialOptions(env.Addr, server.ClientOptions{Binary: true})
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	defer setup.Close()
+	env.Refs = make([]uint64, clients)
+	for i := range env.Refs {
+		// One transaction per card: create and activate stay on the
+		// owning shard, and the router's round-robin placement spreads
+		// the cards across the fleet.
+		if err := setup.Begin(); err != nil {
+			env.Close()
+			return nil, err
+		}
+		env.Refs[i], err = setup.Create("CredCard", &CredCard{Holder: "bench", CredLim: 1e12, GoodHist: true})
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		if _, err := setup.Activate(env.Refs[i], "DenyCredit"); err != nil {
+			env.Close()
+			return nil, err
+		}
+		if err := setup.Commit(); err != nil {
+			env.Close()
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+// MeasureShardTxns drives perTxns committed transactions per client
+// through the router — each begin/Buy×opsPerTxn/commit pipelined on the
+// client's own binary connection — and returns aggregate postings/s.
+func (e *ShardEnv) MeasureShardTxns(perTxns, opsPerTxn int) (float64, error) {
+	sessions := make([]server.Session, len(e.Refs))
+	for i := range sessions {
+		c, err := server.DialOptions(e.Addr, server.ClientOptions{Binary: true})
+		if err != nil {
+			for _, s := range sessions[:i] {
+				s.Close()
+			}
+			return 0, err
+		}
+		sessions[i] = c
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	frame := opsPerTxn + 2 // begin + postings + commit
+	rate, err := drive(sessions, perTxns*opsPerTxn, func(s server.Session, w int) error {
+		return e24Pipelined(s, perTxns*frame, func(i int) *server.Request {
+			switch i % frame {
+			case 0:
+				return &server.Request{Op: "begin"}
+			case frame - 1:
+				return &server.Request{Op: "commit"}
+			default:
+				return &server.Request{Op: "invoke", Ref: e.Refs[w], Method: "Buy", Args: []any{1.0}}
+			}
+		})
+	})
+	return rate, err
+}
+
+// e24Pipelined issues n requests with a sliding window of e24Window
+// calls in flight, then drains (the E23 pipeline at E24's depth).
+func e24Pipelined(s server.Session, n int, build func(i int) *server.Request) error {
+	pending := make([]*server.Call, 0, e24Window)
+	for i := 0; i < n; i++ {
+		pending = append(pending, s.Go(build(i)))
+		if len(pending) == e24Window {
+			if _, err := pending[0].Wait(); err != nil {
+				return err
+			}
+			pending = pending[1:]
+		}
+	}
+	for _, c := range pending {
+		if _, err := c.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// E24ShardGrid is the fleet-size axis E24 and BenchmarkE24Shard sweep.
+var E24ShardGrid = []int{1, 2, 4}
+
+// E24 measures shard-fleet throughput scaling: the E23 transaction
+// workload with the DenyCredit trigger active, 16 clients through one
+// router, against 1, 2, and 4 main-memory shards.
+func (r *Runner) E24() Result {
+	res := Result{ID: "E24", Title: "horizontal sharding: fleet throughput through one router"}
+	r.header("E24", res.Title, "§6 (single-process implementation), docs/SHARDING.md",
+		"partitioning the OID space across 4 shards lifts routed transaction throughput >=1.7x over one shard, triggers active")
+
+	const clients, opsPerTxn = 16, 4
+	perTxns := r.Cfg.scale(2000) / opsPerTxn
+
+	fmt.Fprintf(r.W, "postings/s, %d clients, begin+Buy×%d+commit per txn, DenyCredit active (window %d, node service time %v):\n",
+		clients, opsPerTxn, e24Window, e24Pace)
+	fmt.Fprintf(r.W, "%-10s %14s %10s\n", "shards", "postings/s", "vs 1")
+	rates := map[int]float64{}
+	for _, shards := range E24ShardGrid {
+		env, err := NewShardEnv(shards, clients)
+		if err != nil {
+			res.Summary = err.Error()
+			return res
+		}
+		rate, err := env.MeasureShardTxns(perTxns, opsPerTxn)
+		env.Close()
+		if err != nil {
+			res.Summary = err.Error()
+			return res
+		}
+		rates[shards] = rate
+		fmt.Fprintf(r.W, "%-10d %14.0f %9.2fx\n", shards, rate, rate/rates[1])
+	}
+
+	ratio2 := rates[2] / rates[1]
+	ratio4 := rates[4] / rates[1]
+	res.Passed = ratio4 >= 1.7
+	res.Summary = fmt.Sprintf("4 shards carry %.2fx one shard's routed throughput (2 shards %.2fx), triggers active, router constant",
+		ratio4, ratio2)
+	return res
+}

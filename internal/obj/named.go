@@ -1,0 +1,84 @@
+package obj
+
+// named.go: well-known singleton records, found by name through the
+// catalog. The sharding layer stores its per-origin ingest watermarks
+// here — small raw-byte records that must be read and written inside
+// the same transaction as the work they guard, which is exactly what a
+// catalog-addressed object gives us (compare clusters, which use the
+// same pattern for member lists).
+
+import (
+	"ode/internal/storage"
+	"ode/internal/txn"
+)
+
+// EnsureNamed returns the OID of the named singleton record, creating
+// it with init as its initial image if it does not exist. The catalog
+// write happens inside tx.
+func (m *Manager) EnsureNamed(tx *txn.Txn, name string, init []byte) (storage.OID, error) {
+	if err := tx.LockExclusive(catalogRes()); err != nil {
+		return storage.InvalidOID, err
+	}
+	var cat catalog
+	if err := readGob(tx, CatalogOID, &cat); err != nil {
+		return storage.InvalidOID, err
+	}
+	if oid, ok := cat.Named[name]; ok {
+		return storage.OID(oid), nil
+	}
+	oid, err := tx.NewOID()
+	if err != nil {
+		return storage.InvalidOID, err
+	}
+	if err := tx.LockExclusive(objRes(oid)); err != nil {
+		return storage.InvalidOID, err
+	}
+	if err := tx.Write(oid, init); err != nil {
+		return storage.InvalidOID, err
+	}
+	if cat.Named == nil {
+		cat.Named = map[string]uint64{}
+	}
+	cat.Named[name] = uint64(oid)
+	if err := writeGob(tx, CatalogOID, &cat); err != nil {
+		return storage.InvalidOID, err
+	}
+	return oid, nil
+}
+
+// ReadNamed reads the named record under a shared lock. ok is false
+// when the name was never created.
+func (m *Manager) ReadNamed(tx *txn.Txn, name string) ([]byte, bool, error) {
+	if err := tx.LockShared(catalogRes()); err != nil {
+		return nil, false, err
+	}
+	var cat catalog
+	if err := readGob(tx, CatalogOID, &cat); err != nil {
+		return nil, false, err
+	}
+	oid, ok := cat.Named[name]
+	if !ok {
+		return nil, false, nil
+	}
+	if err := tx.LockShared(objRes(storage.OID(oid))); err != nil {
+		return nil, false, err
+	}
+	img, err := tx.Read(storage.OID(oid))
+	if err != nil {
+		return nil, false, err
+	}
+	return img, true, nil
+}
+
+// WriteNamed rewrites the named record inside tx, creating it first if
+// needed.
+func (m *Manager) WriteNamed(tx *txn.Txn, name string, data []byte) error {
+	oid, err := m.EnsureNamed(tx, name, nil)
+	if err != nil {
+		return err
+	}
+	if err := tx.LockExclusive(objRes(oid)); err != nil {
+		return err
+	}
+	return tx.Write(oid, data)
+}

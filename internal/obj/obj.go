@@ -94,6 +94,10 @@ type catalog struct {
 	NextClassID uint32
 	Classes     map[string]uint32 // class name -> class ID
 	Clusters    map[string]uint64 // cluster name -> cluster object OID
+	// Named maps well-known singleton records (sharding watermarks,
+	// future metadata) to their OIDs. nil in catalogs written before the
+	// field existed; every use guards for that.
+	Named map[string]uint64
 }
 
 // cluster is a persistent set of object OIDs with insertion order.

@@ -103,6 +103,19 @@ func (c *Causes) Next() Cause {
 	return Cause{Node: c.node.Load(), Seq: c.seq.Add(1)}
 }
 
+// EnsureSeq raises the sequence so the next cause's seq is strictly
+// greater than seen. Restart recovery calls this with every persisted
+// seq it reloads (sharding outbox records), so a reborn node never
+// re-issues a sequence number that may already be in flight.
+func (c *Causes) EnsureSeq(seen uint64) {
+	for {
+		cur := c.seq.Load()
+		if cur >= seen || c.seq.CompareAndSwap(cur, seen) {
+			return
+		}
+	}
+}
+
 // --- commit-record cause notes ------------------------------------------------
 //
 // A cause note is the binary annotation carried in the Data field of a

@@ -1,0 +1,253 @@
+package repl
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"ode/internal/antientropy"
+	"ode/internal/core"
+	"ode/internal/storage"
+)
+
+// Aux is a second registered class so the store holds two class
+// partitions worth auditing independently.
+type Aux struct{ N int }
+
+func auxClass() *core.Class {
+	return core.MustClass("Aux", core.Factory(func() any { return new(Aux) }))
+}
+
+// corruptOIDs flips a byte in each given replica object, bypassing the
+// stream (simulated rot), exactly like corruptReplica but for a chosen
+// OID set.
+func corruptOIDs(t *testing.T, rstore interface {
+	Read(storage.OID) ([]byte, error)
+	ApplyReplicated(uint64, []storage.Op) error
+}, oids []uint64) {
+	t.Helper()
+	for i, oid := range oids {
+		data, err := rstore.Read(storage.OID(oid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0x5a
+		if err := rstore.ApplyReplicated(reconTxnBase+200+uint64(i), []storage.Op{
+			{Kind: storage.OpWrite, OID: storage.OID(oid), Data: data},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestVerifyClassScoped (satellite): divergence seeded in two classes,
+// audited one class at a time. The scoped audit reports only the
+// requested class's OIDs, a scoped repair fixes only that class (the
+// other class's divergence survives it), and the scoped exchange
+// inventories only the class subset.
+func TestVerifyClassScoped(t *testing.T) {
+	dir := t.TempDir()
+	p, rep, rstore, _ := setupSyncedPair(t, dir, 10)
+	defer rep.Stop()
+
+	if err := p.db.Register(auxClass()); err != nil {
+		t.Fatal(err)
+	}
+	var auxOIDs []uint64
+	for i := 0; i < 6; i++ {
+		tx := p.db.Begin()
+		ref, err := p.db.Create(tx, "Aux", &Aux{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		auxOIDs = append(auxOIDs, uint64(ref.OID()))
+	}
+	waitFor(t, "aux objects replicated", func() bool {
+		return rep.Status().AppliedLSN >= uint64(p.store.Log().End())
+	})
+
+	acctBC, ok := p.db.ClassOf("Acct")
+	if !ok {
+		t.Fatal("Acct not registered")
+	}
+	auxBC, ok := p.db.ClassOf("Aux")
+	if !ok {
+		t.Fatal("Aux not registered")
+	}
+
+	// The tagged export must agree with the registered catalog IDs.
+	_, _, tagged, err := p.store.ExportClassDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classOf := map[uint64]uint32{}
+	for _, it := range tagged {
+		classOf[it.Key] = it.Class
+	}
+	for _, oid := range auxOIDs {
+		if classOf[oid] != auxBC.ID {
+			t.Fatalf("oid %d tagged class %d, want Aux id %d", oid, classOf[oid], auxBC.ID)
+		}
+	}
+
+	// Seed divergence in both classes: one Acct object, two Aux objects.
+	var acctOIDs []uint64
+	for _, it := range tagged {
+		if it.Class == acctBC.ID {
+			acctOIDs = append(acctOIDs, it.Key)
+		}
+	}
+	sort.Slice(acctOIDs, func(i, j int) bool { return acctOIDs[i] < acctOIDs[j] })
+	if len(acctOIDs) < 1 {
+		t.Fatal("no Acct objects tagged")
+	}
+	badAcct := acctOIDs[0]
+	badAux := []uint64{auxOIDs[1], auxOIDs[4]}
+	corruptOIDs(t, rstore, append([]uint64{badAcct}, badAux...))
+
+	fast := VerifyOptions{BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond}
+
+	// Audit scoped to Aux: exactly the two Aux OIDs, never the Acct one,
+	// and the primary inventory count is the class size, not the store.
+	auxOpts := fast
+	auxOpts.Class = auxBC.ID
+	report, err := rep.Verify(auxOpts)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("scoped Verify = %v, want ErrDiverged (report %+v)", err, report)
+	}
+	wantAux := append([]uint64(nil), badAux...)
+	sort.Slice(wantAux, func(i, j int) bool { return wantAux[i] < wantAux[j] })
+	if len(report.Diverged) != len(wantAux) {
+		t.Fatalf("scoped diverged = %v, want %v", report.Diverged, wantAux)
+	}
+	for i, oid := range wantAux {
+		if report.Diverged[i] != oid {
+			t.Fatalf("scoped diverged = %v, want %v", report.Diverged, wantAux)
+		}
+	}
+	if report.Class != auxBC.ID {
+		t.Fatalf("report class = %d, want %d", report.Class, auxBC.ID)
+	}
+	if report.PrimaryObjects != uint64(len(auxOIDs)) {
+		t.Fatalf("scoped inventory = %d objects, want %d (the Aux class only)",
+			report.PrimaryObjects, len(auxOIDs))
+	}
+
+	// Scoped repair fixes Aux and only Aux.
+	fix := auxOpts
+	fix.Repair = true
+	report, err = rep.Verify(fix)
+	if err != nil || !report.InSync {
+		t.Fatalf("scoped repair = %+v, %v; want clean", report, err)
+	}
+	if len(report.Repaired) != len(wantAux) {
+		t.Fatalf("scoped repaired = %v, want %v", report.Repaired, wantAux)
+	}
+
+	// The Acct divergence must have survived the Aux-scoped repair...
+	acctOpts := fast
+	acctOpts.Class = acctBC.ID
+	report, err = rep.Verify(acctOpts)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("Acct scope after Aux repair = %v, want ErrDiverged (%+v)", err, report)
+	}
+	if len(report.Diverged) != 1 || report.Diverged[0] != badAcct {
+		t.Fatalf("Acct scope diverged = %v, want [%d]", report.Diverged, badAcct)
+	}
+
+	// ...and an unscoped repair converges the whole store.
+	full := fast
+	full.Repair = true
+	report, err = rep.Verify(full)
+	if err != nil || !report.InSync {
+		t.Fatalf("full repair = %+v, %v; want clean", report, err)
+	}
+	sameStoreBytes(t, "after scoped+full repair", p.store, rstore)
+}
+
+// TestVerifyClassScopedInSync: a scoped audit of an untouched class is
+// clean even while another class is diverged — scoping is isolation,
+// not a smaller false-positive budget.
+func TestVerifyClassScopedInSync(t *testing.T) {
+	dir := t.TempDir()
+	p, rep, rstore, _ := setupSyncedPair(t, dir, 8)
+	defer rep.Stop()
+
+	if err := p.db.Register(auxClass()); err != nil {
+		t.Fatal(err)
+	}
+	tx := p.db.Begin()
+	if _, err := p.db.Create(tx, "Aux", &Aux{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "aux replicated", func() bool {
+		return rep.Status().AppliedLSN >= uint64(p.store.Log().End())
+	})
+
+	// Diverge one Acct object only.
+	acctBC, _ := p.db.ClassOf("Acct")
+	auxBC, _ := p.db.ClassOf("Aux")
+	_, _, tagged, err := p.store.ExportClassDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range tagged {
+		if it.Class == acctBC.ID {
+			corruptOIDs(t, rstore, []uint64{it.Key})
+			break
+		}
+	}
+
+	opts := VerifyOptions{Class: auxBC.ID, BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond}
+	report, err := rep.Verify(opts)
+	if err != nil || !report.InSync {
+		t.Fatalf("Aux scope with Acct diverged = %+v, %v; want in-sync", report, err)
+	}
+	if report.Symbols != 0 {
+		t.Fatalf("in-sync scoped audit streamed %d symbols, want 0 (roots match)", report.Symbols)
+	}
+}
+
+// TestExportClassDigestsConsistent: the tagged inventory is the plain
+// inventory plus tags — same items, same digests — and system objects
+// without an obj envelope fold into class 0 on both stores.
+func TestExportClassDigestsConsistent(t *testing.T) {
+	dir := t.TempDir()
+	p, rep, rstore, _ := setupSyncedPair(t, dir, 5)
+	defer rep.Stop()
+
+	_, _, plain, err := p.store.ExportDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, tagged, err := p.store.ExportClassDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(tagged) {
+		t.Fatalf("tagged export has %d items, plain %d", len(tagged), len(plain))
+	}
+	untagged := make([]antientropy.Item, len(tagged))
+	for i, it := range tagged {
+		untagged[i] = it.Item
+	}
+	if !antientropy.DigestSet(plain).Equal(antientropy.DigestSet(untagged)) {
+		t.Fatal("tagged export digests differ from plain export")
+	}
+
+	// Per-class partitions agree across the synced pair.
+	_, _, rtagged, err := rstore.ExportClassDigests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := antientropy.DiffClasses(antientropy.DigestClasses(tagged), antientropy.DigestClasses(rtagged)); len(got) != 0 {
+		t.Fatalf("synced pair's class partitions differ: %v", got)
+	}
+}

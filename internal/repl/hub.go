@@ -189,7 +189,7 @@ func (h *Hub) HandleSubscribe(conn net.Conn, req *server.Request) error {
 	if from < log.Base() || from > log.End() {
 		wantSnap := true
 		if req.Recon {
-			lsn, aborted, err := h.serveRecon(conn, enc, dec, true)
+			lsn, aborted, err := h.serveRecon(conn, enc, dec, true, 0)
 			if err != nil {
 				return nil // link failed mid-exchange; replica redials
 			}

@@ -11,6 +11,7 @@ import (
 	"ode/internal/antientropy"
 	"ode/internal/server"
 	"ode/internal/storage"
+	"ode/internal/storage/eos"
 	"ode/internal/wal"
 )
 
@@ -41,13 +42,15 @@ var errReconAbort = errors.New("repl: reconciliation aborted, falling back to sn
 // repaired store plus the following records equals a log replay.
 // aborted means the peer gave up (or never needed anything beyond the
 // digests); the caller falls back to a snapshot or just moves on.
-func (h *Hub) serveRecon(conn net.Conn, enc *json.Encoder, dec *json.Decoder, clearDeadline bool) (capture wal.LSN, aborted bool, err error) {
+// class, when non-zero, scopes the offered inventory to that catalog
+// class (the peer must scope its own side identically).
+func (h *Hub) serveRecon(conn net.Conn, enc *json.Encoder, dec *json.Decoder, clearDeadline bool, class uint32) (capture wal.LSN, aborted bool, err error) {
 	if clearDeadline {
 		// The subscribe stream runs without read deadlines; restore that
 		// once the request/response exchange is over.
 		defer conn.SetReadDeadline(time.Time{})
 	}
-	capture, nextOID, items, err := h.store.ExportDigests()
+	capture, nextOID, items, err := exportScoped(h.store, class)
 	if err != nil {
 		enc.Encode((&Frame{T: FrameErr, Err: err.Error()}).seal())
 		return 0, false, err
@@ -128,14 +131,29 @@ func (h *Hub) serveRecon(conn net.Conn, enc *json.Encoder, dec *json.Decoder, cl
 }
 
 // HandleRecon is the server.StreamHandler for OpRecon: one anti-entropy
-// exchange and the connection is done. Register as
+// exchange and the connection is done. Request.ID, when non-zero, is
+// the catalog class ID scoping the exchange to one class. Register as
 //
 //	Options.StreamOps[repl.OpRecon] = hub.HandleRecon
 func (h *Hub) HandleRecon(conn net.Conn, req *server.Request) error {
 	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(conn)
-	h.serveRecon(conn, enc, dec, false)
+	h.serveRecon(conn, enc, dec, false, uint32(req.ID))
 	return nil
+}
+
+// exportScoped captures a digest inventory, whole-store (class 0) or
+// restricted to one catalog class. Scoping still fences the full store
+// state — the capture LSN is the same either way.
+func exportScoped(store *eos.Manager, class uint32) (wal.LSN, storage.OID, []antientropy.Item, error) {
+	if class == 0 {
+		return store.ExportDigests()
+	}
+	lsn, nextOID, tagged, err := store.ExportClassDigests()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return lsn, nextOID, antientropy.FilterClass(tagged, class), nil
 }
 
 // --- replica side ------------------------------------------------------------
@@ -181,10 +199,12 @@ func (res *reconResult) diffOIDs() []uint64 {
 // frame has already been decoded into f. With fetch=true it asks for
 // the divergent images (rejoin/repair); with fetch=false it stops at
 // the decoded difference (verify). only, when non-nil, restricts the
-// fetched set to those OIDs. Returns errReconAbort when the symbol
-// budget runs out before the difference decodes.
-func (r *Replica) runRecon(f *Frame, conn net.Conn, enc *json.Encoder, dec *json.Decoder, fetch bool, only map[uint64]bool) (*reconResult, error) {
-	_, _, items, err := r.store.ExportDigests()
+// fetched set to those OIDs. class, when non-zero, scopes the local
+// inventory to that catalog class and must match what the primary was
+// asked to offer. Returns errReconAbort when the symbol budget runs
+// out before the difference decodes.
+func (r *Replica) runRecon(f *Frame, conn net.Conn, enc *json.Encoder, dec *json.Decoder, fetch bool, only map[uint64]bool, class uint32) (*reconResult, error) {
+	_, _, items, err := exportScoped(r.store, class)
 	if err != nil {
 		return nil, err
 	}

@@ -344,7 +344,7 @@ func (r *Replica) streamOnce() error {
 			// Out-of-range rejoin via set reconciliation: decode the
 			// drift, fetch only the divergent objects, resume streaming
 			// from the capture LSN on this same connection.
-			res, err := r.runRecon(&f, conn, enc, dec, true, nil)
+			res, err := r.runRecon(&f, conn, enc, dec, true, nil, 0)
 			if errors.Is(err, errReconAbort) {
 				// The hub falls back to a full snapshot on this stream.
 				continue

@@ -27,6 +27,13 @@ var (
 type VerifyOptions struct {
 	// Repair authorizes in-place repair of confirmed divergence.
 	Repair bool
+	// Class, when non-zero, scopes the audit (and any repair) to one
+	// catalog class: both sides digest only that class's objects, so
+	// the exchange costs O(class) instead of O(store) and the report
+	// never names an OID outside the class. The repl.verify op maps a
+	// class name to this ID; class IDs are identical on primary and
+	// replica because the catalog itself replicates.
+	Class uint32
 	// Rounds caps the audit rounds used to separate real divergence
 	// from replication churn (default 4, minimum 2).
 	Rounds int
@@ -58,6 +65,9 @@ type VerifyReport struct {
 	Symbols        uint64 `json:"symbols"`
 	CaptureLSN     uint64 `json:"capture_lsn"`
 	PrimaryObjects uint64 `json:"primary_objects"`
+	// Class echoes the scoping catalog class ID (0 = whole store);
+	// PrimaryObjects counts only that class when set.
+	Class uint32 `json:"class,omitempty"`
 }
 
 // digestPair is one OID's claim on both sides of an exchange; equal
@@ -121,7 +131,7 @@ func (r *Replica) Verify(opts VerifyOptions) (*VerifyReport, error) {
 	}
 	r.verifyRuns.Inc()
 
-	rep := &VerifyReport{}
+	rep := &VerifyReport{Class: opts.Class}
 	bo := server.Backoff{Base: opts.BackoffBase, Max: opts.BackoffMax}
 	var prev map[uint64]digestPair
 	var lastErr error
@@ -129,7 +139,7 @@ func (r *Replica) Verify(opts VerifyOptions) (*VerifyReport, error) {
 		if round > 0 {
 			time.Sleep(bo.Next())
 		}
-		res, err := r.verifyRound(nil, opts.CatchUp)
+		res, err := r.verifyRound(nil, opts.CatchUp, opts.Class)
 		if err != nil {
 			if errors.Is(err, ErrLagged) {
 				return rep, err
@@ -183,10 +193,11 @@ func (r *Replica) Verify(opts VerifyOptions) (*VerifyReport, error) {
 
 // verifyRound runs one exchange against the primary. fetch, when
 // non-nil, requests the primary images for those OIDs (repair);
-// nil stops at the decoded difference (audit). Each round waits for
-// the replica to catch up to the primary's capture LSN so the decoded
-// difference cannot be explained by un-applied history.
-func (r *Replica) verifyRound(fetch map[uint64]bool, catchUp time.Duration) (*reconResult, error) {
+// nil stops at the decoded difference (audit). class, when non-zero,
+// scopes both sides' inventories to that catalog class. Each round
+// waits for the replica to catch up to the primary's capture LSN so
+// the decoded difference cannot be explained by un-applied history.
+func (r *Replica) verifyRound(fetch map[uint64]bool, catchUp time.Duration, class uint32) (*reconResult, error) {
 	conn, err := r.dial()
 	if err != nil {
 		return nil, err
@@ -194,7 +205,7 @@ func (r *Replica) verifyRound(fetch map[uint64]bool, catchUp time.Duration) (*re
 	defer conn.Close()
 	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(conn)
-	if err := enc.Encode(&server.Request{Op: OpRecon}); err != nil {
+	if err := enc.Encode(&server.Request{Op: OpRecon, ID: uint64(class)}); err != nil {
 		return nil, err
 	}
 	conn.SetReadDeadline(time.Now().Add(reconReadTimeout))
@@ -218,7 +229,7 @@ func (r *Replica) verifyRound(fetch map[uint64]bool, catchUp time.Duration) (*re
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	return r.runRecon(&f, conn, enc, dec, fetch != nil, fetch)
+	return r.runRecon(&f, conn, enc, dec, fetch != nil, fetch, class)
 }
 
 // repairDiverged rewrites the confirmed-divergent objects from the
@@ -230,7 +241,7 @@ func (r *Replica) repairDiverged(rep *VerifyReport, stable map[uint64]bool, opts
 		if attempt > 0 {
 			time.Sleep(bo.Next())
 		}
-		res, err := r.verifyRound(stable, opts.CatchUp)
+		res, err := r.verifyRound(stable, opts.CatchUp, opts.Class)
 		if err != nil {
 			lastErr = err
 			continue
@@ -252,7 +263,7 @@ func (r *Replica) repairDiverged(rep *VerifyReport, stable map[uint64]bool, opts
 		}
 		// Confirm: a fresh audit round must no longer see any of the
 		// repaired OIDs in the diff.
-		chk, err := r.verifyRound(nil, opts.CatchUp)
+		chk, err := r.verifyRound(nil, opts.CatchUp, opts.Class)
 		if err != nil {
 			lastErr = err
 			continue

@@ -83,7 +83,7 @@ type Request struct {
 	Trigger string          `json:"trigger,omitempty"`
 	Event   string          `json:"event,omitempty"`
 	Cluster string          `json:"cluster,omitempty"`
-	ID      uint64          `json:"id,omitempty"` // trigger id for deactivate
+	ID      uint64          `json:"id,omitempty"` // trigger id for deactivate; scoping catalog class ID on repl.recon (0 = whole store)
 	Args    []any           `json:"args,omitempty"`
 	Value   json.RawMessage `json:"value,omitempty"` // object payload for create
 	Rate    int64           `json:"rate,omitempty"`  // trace op: >0 sets 1-in-n sampling, <0 disables, 0 leaves unchanged
@@ -98,6 +98,10 @@ type Request struct {
 	// transaction instead of a regular one; mutating ops on the session
 	// then fail with ErrSnapshotWrite until commit/abort.
 	Snapshot bool `json:"snapshot,omitempty"`
+	// Origin and Events, on shard.ingest, carry a batch of remote event
+	// notifications from the named origin shard (docs/SHARDING.md).
+	Origin uint64             `json:"origin,omitempty"`
+	Events []core.RemoteEvent `json:"events,omitempty"`
 }
 
 // Response is the server's reply.
@@ -111,6 +115,9 @@ type Response struct {
 	Refs     []uint64        `json:"refs,omitempty"`
 	Result   any             `json:"result,omitempty"`
 	Value    json.RawMessage `json:"value,omitempty"`
+	// Watermark, on shard.ingest, acknowledges every event with
+	// seq <= Watermark from the requesting origin (docs/SHARDING.md).
+	Watermark uint64 `json:"watermark,omitempty"`
 }
 
 // StreamHandler takes over a connection after its request line: the

@@ -21,6 +21,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ode/internal/storage"
 	"ode/internal/storage/vstore"
@@ -47,6 +48,15 @@ type Manager struct {
 	// loads a point-in-time image of the store.
 	snapshotPath string
 	closed       bool
+	// oidFilter, when set, restricts which OIDs ReserveOID may mint —
+	// the sharding hook: each shard allocates only the OIDs its ring
+	// slice owns, skipping the rest (see internal/shard).
+	oidFilter func(uint64) bool
+	// pace (nanoseconds) is an emulated per-commit service time; paceMu
+	// is the serial service line commits queue on when it is set. See
+	// SetCommitPace.
+	pace   atomic.Int64
+	paceMu sync.Mutex
 }
 
 // New returns an empty, purely volatile manager.
@@ -76,6 +86,27 @@ func Open(path string) (*Manager, error) {
 // Name implements storage.Manager.
 func (m *Manager) Name() string { return "dali" }
 
+// SetOIDFilter installs (or clears, with nil) the allocation
+// predicate: ReserveOID skips OIDs the filter rejects. A sharded
+// deployment installs the ring's filter so every OID minted here is
+// owned here; reads and applies are unaffected (a replica may hold
+// remote-owned images).
+func (m *Manager) SetOIDFilter(allow func(uint64) bool) {
+	m.mu.Lock()
+	m.oidFilter = allow
+	m.mu.Unlock()
+}
+
+// SetCommitPace installs (or clears, with 0) an emulated per-commit
+// service time: each non-empty ApplyCommit first holds a dedicated pace
+// lock for d, so commits serialize behind it while reads proceed
+// untouched. The knob models one node whose engine serves transactions
+// one at a time — the paper's single-process Ode (§6) — for experiments
+// that sweep fleet sizes on a host where in-process shards share cores
+// (E24), the same emulation move as E23's fixed-RTT link. Production
+// stores never set it.
+func (m *Manager) SetCommitPace(d time.Duration) { m.pace.Store(int64(d)) }
+
 // ReserveOID implements storage.Manager.
 func (m *Manager) ReserveOID() (storage.OID, error) {
 	m.mu.Lock()
@@ -84,9 +115,22 @@ func (m *Manager) ReserveOID() (storage.OID, error) {
 		return storage.InvalidOID, errClosed
 	}
 	oid := m.nextOID
-	m.nextOID++
+	for i := 0; m.oidFilter != nil && !m.oidFilter(uint64(oid)); i++ {
+		if i >= oidFilterScanCap {
+			return storage.InvalidOID, errOIDFilterStuck
+		}
+		oid++
+	}
+	m.nextOID = oid + 1
 	return oid, nil
 }
+
+// oidFilterScanCap bounds the filter skip scan: a consistent-hash
+// slice admits roughly one OID in N, so a scan past a million rejects
+// means the filter is broken (owns nothing), not unlucky.
+const oidFilterScanCap = 1 << 20
+
+var errOIDFilterStuck = fmt.Errorf("dali: OID filter rejected %d consecutive OIDs", oidFilterScanCap)
 
 var errClosed = fmt.Errorf("dali: manager closed")
 
@@ -119,6 +163,11 @@ func (m *Manager) Exists(oid storage.OID) bool {
 // applied directly; "durability" is the store's residence in memory, as in
 // MM-Ode (snapshotting is explicit via Checkpoint).
 func (m *Manager) ApplyCommit(txn uint64, ops []storage.Op) error {
+	if d := time.Duration(m.pace.Load()); d > 0 && len(ops) > 0 {
+		m.paceMu.Lock()
+		time.Sleep(d)
+		m.paceMu.Unlock()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {

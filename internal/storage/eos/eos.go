@@ -28,6 +28,7 @@
 package eos
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -108,6 +109,9 @@ type Manager struct {
 	freeSpace map[uint32]int // slotted page -> free bytes
 	freePages []uint32
 	nextOID   storage.OID
+	// oidFilter, when set, restricts which OIDs ReserveOID may mint —
+	// the sharding hook (see SetOIDFilter).
+	oidFilter func(uint64) bool
 
 	// versions holds the commit-LSN-stamped version chains behind
 	// storage.Versioned. Externally synchronized: every access is under
@@ -495,6 +499,17 @@ func (m *Manager) recover(force bool) error {
 	return nil
 }
 
+// SetOIDFilter installs (or clears, with nil) the allocation
+// predicate: ReserveOID skips OIDs the filter rejects. A sharded
+// deployment installs the ring's filter so every OID minted here is
+// owned here; recovery, snapshot import, and replica apply are
+// unaffected — they never mint, they replay.
+func (m *Manager) SetOIDFilter(allow func(uint64) bool) {
+	m.mu.Lock()
+	m.oidFilter = allow
+	m.mu.Unlock()
+}
+
 // ReserveOID implements storage.Manager.
 func (m *Manager) ReserveOID() (storage.OID, error) {
 	m.mu.Lock()
@@ -503,9 +518,22 @@ func (m *Manager) ReserveOID() (storage.OID, error) {
 		return storage.InvalidOID, errClosed
 	}
 	oid := m.nextOID
-	m.nextOID++
+	for i := 0; m.oidFilter != nil && !m.oidFilter(uint64(oid)); i++ {
+		if i >= oidFilterScanCap {
+			return storage.InvalidOID, errOIDFilterStuck
+		}
+		oid++
+	}
+	m.nextOID = oid + 1
 	return oid, nil
 }
+
+// oidFilterScanCap bounds the filter skip scan: a consistent-hash
+// slice admits roughly one OID in N, so a scan past a million rejects
+// means the filter is broken (owns nothing), not unlucky.
+const oidFilterScanCap = 1 << 20
+
+var errOIDFilterStuck = fmt.Errorf("eos: OID filter rejected %d consecutive OIDs", oidFilterScanCap)
 
 // Read implements storage.Manager. It takes only the pool lock, so reads
 // proceed while committers wait on the WAL fsync.
@@ -1368,6 +1396,48 @@ func (m *Manager) ExportDigests() (lsn wal.LSN, nextOID storage.OID, items []ant
 			return 0, 0, nil, fmt.Errorf("eos: export digest oid %d: %w", oid, err)
 		}
 		items = append(items, antientropy.Item{Key: uint64(oid), Digest: antientropy.Digest(data)})
+	}
+	return lsn, m.nextOID, items, nil
+}
+
+// classOfImage extracts the catalog class ID from a stored object's
+// envelope (the obj package's format: version byte 1, a flags byte,
+// then a little-endian uint32 class ID). Images without a decodable
+// envelope — system pages, foreign formats — fold into class 0. The
+// mapping only has to be consistent on both sides of an exchange, and
+// a pure function of the bytes is.
+func classOfImage(data []byte) uint32 {
+	if len(data) >= 6 && data[0] == 1 {
+		return binary.LittleEndian.Uint32(data[2:6])
+	}
+	return 0
+}
+
+// ExportClassDigests is ExportDigests with each item tagged by its
+// object's catalog class, under the same commit fence. The tags let
+// anti-entropy partition the digest walk per class and scope a
+// reconciliation to a single class (antientropy.FilterClass) instead
+// of the whole store.
+func (m *Manager) ExportClassDigests() (lsn wal.LSN, nextOID storage.OID, items []antientropy.ClassItem, err error) {
+	m.seqMu.Lock()
+	defer m.seqMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, 0, nil, errClosed
+	}
+	m.drainAppliesLocked()
+	lsn = m.log.End()
+	items = make([]antientropy.ClassItem, 0, len(m.dir))
+	for oid, l := range m.dir {
+		data, err := m.readLoc(l)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("eos: export class digest oid %d: %w", oid, err)
+		}
+		items = append(items, antientropy.ClassItem{
+			Item:  antientropy.Item{Key: uint64(oid), Digest: antientropy.Digest(data)},
+			Class: classOfImage(data),
+		})
 	}
 	return lsn, m.nextOID, items, nil
 }
