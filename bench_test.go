@@ -94,6 +94,12 @@ func writeBenchOut() {
 			}
 		}
 	}
+	if e25 := benchRecords["e25_fleetobs"]; e25 != nil {
+		base := e25["postings_per_sec/untraced"]
+		if v := e25["postings_per_sec/traced"]; base > 0 && v > 0 {
+			e25["ratio/traced"] = v / base
+		}
+	}
 	if e21 := benchRecords["e21_snapshot_reads"]; e21 != nil {
 		for _, readers := range e21ReaderGrid {
 			base := e21[fmt.Sprintf("baseline/readers=%d", readers)]
@@ -1125,6 +1131,29 @@ func BenchmarkE24Shard(b *testing.B) {
 				recordBench("e24_shard", fmt.Sprintf("postings_per_sec/shards=%d", shards), rate)
 			}
 		})
+	}
+}
+
+// --- E25: fleet observability overhead ----------------------------------------
+
+// BenchmarkE25FleetObs measures the routed E24 workload (2 shards, 16
+// pipelining binary clients, DenyCredit active) with fleet tracing off
+// versus 1-in-16 across every shard — the rate set by one trace.rate
+// broadcast through the router. The traced/untraced ratio is the
+// machine-independent number BENCH_fleetobs.json commits and CI's
+// bench gate tracks (target ≥0.98: fleet tracing costs ≤2%). Run with
+// ODE_BENCH_OUT=BENCH_fleetobs.json -bench E25FleetObs -benchtime 1x to
+// regenerate the committed numbers.
+func BenchmarkE25FleetObs(b *testing.B) {
+	const shards, clients, opsPerTxn, perTxns = 2, 16, 4, 100
+	for i := 0; i < b.N; i++ {
+		untraced, traced, err := experiments.MeasureFleetObs(shards, clients, perTxns, opsPerTxn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(traced/untraced, "traced/untraced")
+		recordBench("e25_fleetobs", "postings_per_sec/untraced", untraced)
+		recordBench("e25_fleetobs", "postings_per_sec/traced", traced)
 	}
 }
 

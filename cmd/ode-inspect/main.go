@@ -25,6 +25,14 @@
 //
 //	ode-inspect -flight 127.0.0.1:7047
 //
+// With -chain it reconstructs the cause chain rooted at a cause ID: it
+// fetches flat chain events (the "trace.chain" op, raw form) from every
+// listed address — a router answers for its whole fleet; add replica
+// addresses to fold in their traces too — and prints the assembled
+// parent-linked tree as JSON:
+//
+//	ode-inspect -chain 00000000000000a0-17 127.0.0.1:7047 [addr...]
+//
 // With -verify it runs an anti-entropy divergence audit on a running
 // replica ode-server (the server's "repl.verify" op) and prints the
 // VerifyReport; add -repair to authorize rewriting confirmed-divergent
@@ -46,6 +54,7 @@
 //	ode-inspect -traces addr [-rate n]
 //	ode-inspect -repl addr
 //	ode-inspect -flight addr
+//	ode-inspect -chain cause-id addr [addr...]
 //	ode-inspect -verify addr [-repair]
 //	ode-inspect -wire addr
 package main
@@ -86,7 +95,17 @@ func main() {
 	repair := flag.Bool("repair", false, "with -verify: authorize in-place repair of confirmed divergence")
 	verifyClass := flag.String("class", "", "with -verify: scope the audit to one class by name")
 	wireAddr := flag.String("wire", "", "print the negotiated protocol and wire counters of a running ode-server at this address (the server's \"proto\" op)")
+	chainCause := flag.String("chain", "", "assemble the cause chain rooted at this cause ID from the addresses given as arguments (the servers' \"trace.chain\" op)")
 	flag.Parse()
+	if *chainCause != "" {
+		if flag.NArg() < 1 {
+			log.Fatal("usage: ode-inspect -chain cause-id addr [addr...]")
+		}
+		if err := fetchChain(*chainCause, flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *traces != "" {
 		req := map[string]any{"op": "trace"}
 		if *rate != 0 {
@@ -257,6 +276,57 @@ func main() {
 			fmt.Printf("  %-28s %12d %s\n", m.Name, m.Value, m.Unit)
 		}
 	}
+}
+
+// fetchChain collects flat chain events from every address (a router
+// answers for its whole fleet; replicas can be listed alongside),
+// assembles the tree for the root cause locally, and prints it as
+// indented JSON. Assembling client-side instead of trusting one
+// server's tree is what lets the chain span processes no single router
+// fronts.
+func fetchChain(cause string, addrs []string) error {
+	if _, ok := obs.ParseCause(cause); !ok {
+		return fmt.Errorf(`invalid cause ID %q (want the "%%016x-%%d" form, e.g. 00000000000000a0-17)`, cause)
+	}
+	var evs []obs.ChainEvent
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		err = func() error {
+			defer conn.Close()
+			if err := json.NewEncoder(conn).Encode(map[string]any{"op": "trace.chain", "raw": true}); err != nil {
+				return err
+			}
+			line, err := bufio.NewReader(conn).ReadBytes('\n')
+			if err != nil {
+				return err
+			}
+			var resp struct {
+				OK     bool               `json:"ok"`
+				Error  string             `json:"error"`
+				Result server.ChainEvents `json:"result"`
+			}
+			if err := json.Unmarshal(line, &resp); err != nil {
+				return err
+			}
+			if !resp.OK {
+				return fmt.Errorf("server %s: %s", addr, resp.Error)
+			}
+			evs = append(evs, resp.Result.Events...)
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	pretty, err := json.MarshalIndent(obs.AssembleChain(cause, evs), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(pretty))
+	return nil
 }
 
 // fetchVerify runs the repl.verify op and prints the VerifyReport even

@@ -5,10 +5,18 @@
 //
 // The shard list and its order are the ring: every router and every
 // shard must be started with the identical list, or they will disagree
-// about ownership. shard.status reports the topology a router is using:
+// about ownership. shard.status reports the topology a router is using
+// plus every shard's own status (outbox depth, ingest watermarks):
 //
 //	{"op":"shard.status"}
-//	{"ok":true,"value":{"shards":2,"vnodes":128,"self":-1,"addrs":[...]}}
+//	{"ok":true,"value":{"shards":2,"vnodes":128,"self":-1,"node":"router",
+//	                    "addrs":[...],"fleet":[{"self":0,...},{"self":1,...}]}}
+//
+// The router is also the fleet's observability plane: metrics, trace,
+// flight, trace.rate, and trace.chain fan out to every shard and answer
+// with merged node-tagged views, and -obs-addr serves the router's own
+// HTTP surface with /readyz gated on shard reachability
+// (docs/OBSERVABILITY.md §"Fleet observability").
 //
 // Usage:
 //
@@ -19,6 +27,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
@@ -26,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"ode/internal/obs"
 	"ode/internal/server"
 	"ode/internal/shard"
 )
@@ -38,6 +48,7 @@ func main() {
 	streamShard := flag.Int("stream-shard", 0, "shard that receives spliced stream ops and repl.* admin ops")
 	maxReq := flag.Int("max-request", server.DefaultMaxRequestBytes, "per-request size cap in bytes")
 	dialAttempts := flag.Int("dial-attempts", 10, "backend dial attempts before giving up")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address (router metrics, /healthz, /readyz gated on shard reachability; empty = disabled)")
 	flag.Parse()
 
 	if *shards == "" {
@@ -60,6 +71,27 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *obsAddr != "" {
+		// Readiness is gated on shard reachability: a router whose fleet
+		// is unreachable accepts connections but cannot route, so load
+		// balancers should not send it traffic.
+		health := obs.NewHealth()
+		health.SetReadiness("shards", func() error {
+			for i, a := range addrs {
+				c, err := net.DialTimeout("tcp", a, 2*time.Second)
+				if err != nil {
+					return fmt.Errorf("shard %d (%s): %v", i, a, err)
+				}
+				c.Close()
+			}
+			return nil
+		})
+		bound, err := obs.Serve(*obsAddr, rt.Observability(), nil, health)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("observability on http://%s (metrics, healthz, readyz, pprof)", bound)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

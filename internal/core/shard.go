@@ -87,6 +87,7 @@ type shardState struct {
 	mu      sync.Mutex
 	queue   map[uint64]OutboxEntry // committed records by seq
 	pending map[uint64]struct{}    // captured seqs whose txn is still open
+	wm      map[uint64]uint64      // per-origin ingest watermarks seen this process
 	nudge   chan struct{}
 
 	captured    *obs.Counter
@@ -112,6 +113,7 @@ func (db *Database) EnableSharding(isLocal func(uint64) bool) error {
 		isLocal: isLocal,
 		queue:   make(map[uint64]OutboxEntry),
 		pending: make(map[uint64]struct{}),
+		wm:      make(map[uint64]uint64),
 		nudge:   make(chan struct{}, 1),
 	}
 	if !db.shardSt.CompareAndSwap(nil, sh) {
@@ -390,6 +392,7 @@ func (sh *shardState) ingestOnce(origin uint64, evs []RemoteEvent) (uint64, erro
 		wm = binary.LittleEndian.Uint64(raw)
 	}
 	var applied, dups, drops int
+	var hops []RemoteEvent // applied events, reported as ingest_hop incidents post-commit
 	for _, ev := range evs {
 		if ev.Seq <= wm {
 			dups++
@@ -405,6 +408,7 @@ func (sh *shardState) ingestOnce(origin uint64, evs []RemoteEvent) (uint64, erro
 		switch {
 		case err == nil:
 			applied++
+			hops = append(hops, ev)
 		case errors.Is(err, ErrNotFound), errors.Is(err, ErrUnknownEvent), errors.Is(err, ErrUnknownClass):
 			// Invalid addressing is deterministic: retrying or wedging the
 			// stream would not fix it. Drop, count, advance.
@@ -419,6 +423,7 @@ func (sh *shardState) ingestOnce(origin uint64, evs []RemoteEvent) (uint64, erro
 		// Pure duplicate batch: nothing changed, nothing to persist.
 		_ = sys.Abort()
 		sh.addIngestCounts(0, dups, 0)
+		sh.noteWatermark(origin, wm)
 		return wm, nil
 	}
 	var buf [8]byte
@@ -431,7 +436,79 @@ func (sh *shardState) ingestOnce(origin uint64, evs []RemoteEvent) (uint64, erro
 		return 0, err
 	}
 	sh.addIngestCounts(applied, dups, drops)
+	sh.noteWatermark(origin, wm)
+	// Incidents only after the commit: a retried attempt must not leave
+	// phantom hop records for postings that were rolled back, and the
+	// watermark guarantees a committed event is never re-applied.
+	for _, ev := range hops {
+		parent, _ := obs.ParseCause(ev.Parent)
+		obs.Flight().Record(obs.IncIngestHop, ev.Cause(), parent, ev.Seq,
+			fmt.Sprintf("applied %s on oid %d from %s", ev.Event, ev.Target, obs.NodeLabel(origin)))
+	}
 	return wm, nil
+}
+
+// noteWatermark caches the latest observed watermark for origin, the
+// in-memory image shard.status reports without a store read.
+func (sh *shardState) noteWatermark(origin, wm uint64) {
+	sh.mu.Lock()
+	if wm > sh.wm[origin] {
+		sh.wm[origin] = wm
+	}
+	sh.mu.Unlock()
+}
+
+// IngestWatermarks returns the per-origin ingest watermarks observed by
+// this process, keyed by the origin's 16-hex node label. Origins this
+// process has not ingested from since start are absent (their persisted
+// watermarks still gate redelivery; this map is the status view, not
+// the source of truth). Nil when sharding is disabled.
+func (db *Database) IngestWatermarks() map[string]uint64 {
+	sh := db.shardSt.Load()
+	if sh == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make(map[string]uint64, len(sh.wm))
+	for origin, wm := range sh.wm {
+		out[obs.NodeLabel(origin)] = wm
+	}
+	return out
+}
+
+// OutboxSnapshot returns every committed, not-yet-trimmed outbox entry
+// in seq order — the sending half of in-flight cross-shard hops, which
+// the cause-chain assembler renders as "hop" events. Unlike
+// SettledOutbox it applies no open-transaction cutoff: a chain view
+// should show a captured hop as soon as its transaction commits. Nil
+// when sharding is disabled.
+func (db *Database) OutboxSnapshot() []OutboxEntry {
+	sh := db.shardSt.Load()
+	if sh == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	out := make([]OutboxEntry, 0, len(sh.queue))
+	for _, e := range sh.queue {
+		out = append(out, e)
+	}
+	sh.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// OutboxDepth returns the number of outbox records not yet acked
+// (committed queue + open-transaction captures), the same value the
+// shard.outbox_pending metric reports. Zero when sharding is disabled.
+func (db *Database) OutboxDepth() uint64 {
+	sh := db.shardSt.Load()
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return uint64(len(sh.queue) + len(sh.pending))
 }
 
 func (sh *shardState) addIngestCounts(applied, dups, drops int) {

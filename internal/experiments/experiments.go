@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E24
+// Package experiments implements the reproduction experiments E1–E25
 // catalogued in DESIGN.md and reported in EXPERIMENTS.md. The paper has
 // no quantitative tables — its measurable content is Figure 1, five
 // design goals, the §6 implementation experiences, and the §7 comparison
@@ -68,7 +68,7 @@ func (r *Runner) RunAll() []Result {
 		// E18 (observability overhead) is benchmark-shaped and lives in
 		// bench_test.go / EXPERIMENTS.md; the runner skips to E19.
 		{"E19", r.E19}, {"E20", r.E20}, {"E21", r.E21}, {"E22", r.E22},
-		{"E23", r.E23}, {"E24", r.E24},
+		{"E23", r.E23}, {"E24", r.E24}, {"E25", r.E25},
 	}
 	var out []Result
 	for _, e := range exps {

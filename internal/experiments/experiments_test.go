@@ -19,8 +19,8 @@ func TestAllExperimentsPassQuick(t *testing.T) {
 	var buf bytes.Buffer
 	r := &Runner{W: &buf, Cfg: Config{Quick: true, Dir: t.TempDir()}}
 	results := r.RunAll()
-	if len(results) != 23 {
-		t.Fatalf("ran %d experiments, want 23", len(results))
+	if len(results) != 24 {
+		t.Fatalf("ran %d experiments, want 24", len(results))
 	}
 	for _, res := range results {
 		if !res.Passed {
@@ -31,7 +31,7 @@ func TestAllExperimentsPassQuick(t *testing.T) {
 		t.Logf("full output:\n%s", buf.String())
 	}
 	// The output must contain one table header per experiment.
-	for _, id := range []string{"E1", "E5", "E10", "E15", "E16", "E17", "E19", "E20", "E21", "E23", "E24"} {
+	for _, id := range []string{"E1", "E5", "E10", "E15", "E16", "E17", "E19", "E20", "E21", "E23", "E24", "E25"} {
 		if !strings.Contains(buf.String(), "== "+id+":") {
 			t.Errorf("output missing %s section", id)
 		}

@@ -1,0 +1,181 @@
+package obs
+
+import "sort"
+
+// Cross-shard cause-chain assembly. Every posting carries a cause ID
+// (node, seq) and the cause of the posting that produced it, and the
+// provenance survives every hop: a trigger action's posting links to
+// the detecting posting, an outbox capture mints a hop cause whose
+// parent is the capturing posting, and the ingesting shard threads the
+// hop cause into the remote posting it applies. The assembler collects
+// those links — firing traces, flight incidents, and outbox hops, from
+// every node of a fleet — as flat ChainEvents and stitches them into
+// one parent-linked tree rooted at a chosen cause. The `trace.chain`
+// server op serves the flat events (raw) or the assembled tree; the
+// router fans the raw form out to every shard and assembles fleet-wide.
+
+// Chain event kinds.
+const (
+	// ChainTrace: a sampled firing trace whose posting carries the
+	// event's cause.
+	ChainTrace = "trace"
+	// ChainIncident: a flight-recorder incident attributed to the cause
+	// (including the ingest_hop records that bridge shards).
+	ChainIncident = "incident"
+	// ChainHop: a captured outbox entry still queued or settled on the
+	// sending shard — the sending half of a cross-shard hop.
+	ChainHop = "hop"
+	// ChainCompletion: synthesized from a fire step whose pattern began
+	// under a different cause: the completing posting's cause is linked
+	// under the pattern-origin cause so a composite trigger that
+	// half-matched elsewhere still joins the tree.
+	ChainCompletion = "completion"
+)
+
+// ChainEvent is one flat, node-tagged observation tied to a cause.
+// Cause is the event's own cause ID; ParentCause, when set, links it
+// into the tree. Trace and Incident carry the full source record for
+// trace/incident kinds.
+type ChainEvent struct {
+	Node        string          `json:"node,omitempty"`
+	Kind        string          `json:"chain_kind"`
+	TUnixNs     int64           `json:"t_unix_ns,omitempty"`
+	Cause       string          `json:"cause"`
+	ParentCause string          `json:"parent_cause,omitempty"`
+	Detail      string          `json:"detail,omitempty"`
+	Trace       *TraceRecord    `json:"trace,omitempty"`
+	Incident    *IncidentRecord `json:"incident,omitempty"`
+}
+
+// ChainNode is one cause in the assembled tree: every collected event
+// for that cause, and the causes it produced.
+type ChainNode struct {
+	Cause    string       `json:"cause"`
+	Events   []ChainEvent `json:"events,omitempty"`
+	Children []*ChainNode `json:"children,omitempty"`
+}
+
+// TraceChainEvents converts firing traces to chain events. Each traced
+// posting yields one ChainTrace event (parent = the posting that caused
+// it), plus one ChainCompletion event per fire step whose pattern
+// originated under a different cause.
+func TraceChainEvents(label string, recs []TraceRecord) []ChainEvent {
+	var out []ChainEvent
+	for i := range recs {
+		rec := recs[i]
+		if rec.Cause == "" {
+			continue
+		}
+		if rec.Node == "" {
+			rec.Node = label
+		}
+		out = append(out, ChainEvent{
+			Node:        rec.Node,
+			Kind:        ChainTrace,
+			TUnixNs:     rec.StartUnixNs,
+			Cause:       rec.Cause,
+			ParentCause: rec.ParentCause,
+			Detail:      "posted " + rec.Event,
+			Trace:       &rec,
+		})
+		for _, s := range rec.Steps {
+			if s.Kind == StepFire && s.Cause != "" && s.Cause != rec.Cause {
+				out = append(out, ChainEvent{
+					Node:        rec.Node,
+					Kind:        ChainCompletion,
+					TUnixNs:     rec.StartUnixNs + s.TNs,
+					Cause:       rec.Cause,
+					ParentCause: s.Cause,
+					Detail:      "completed pattern of " + s.Trigger,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// IncidentChainEvents converts flight incidents that carry a cause to
+// chain events.
+func IncidentChainEvents(label string, recs []IncidentRecord) []ChainEvent {
+	var out []ChainEvent
+	for i := range recs {
+		rec := recs[i]
+		if rec.Cause == "" {
+			continue
+		}
+		if rec.Node == "" {
+			rec.Node = label
+		}
+		out = append(out, ChainEvent{
+			Node:        rec.Node,
+			Kind:        ChainIncident,
+			TUnixNs:     rec.TUnixNs,
+			Cause:       rec.Cause,
+			ParentCause: rec.ParentCause,
+			Detail:      rec.Kind,
+			Incident:    &rec,
+		})
+	}
+	return out
+}
+
+// AssembleChain stitches flat events into the parent-linked tree rooted
+// at root (a cause ID). Events are grouped by cause; an event whose
+// ParentCause names another cause links the two. Children are ordered
+// by earliest event time (then cause ID) so assembly is deterministic,
+// a visited set guards against cycles in corrupt input, and causes not
+// reachable from root are dropped.
+func AssembleChain(root string, evs []ChainEvent) *ChainNode {
+	byCause := make(map[string][]ChainEvent)
+	children := make(map[string]map[string]bool)
+	for _, ev := range evs {
+		if ev.Cause == "" {
+			continue
+		}
+		byCause[ev.Cause] = append(byCause[ev.Cause], ev)
+		if p := ev.ParentCause; p != "" && p != ev.Cause {
+			kids := children[p]
+			if kids == nil {
+				kids = make(map[string]bool)
+				children[p] = kids
+			}
+			kids[ev.Cause] = true
+		}
+	}
+	earliest := func(c string) int64 {
+		t := int64(0)
+		for i, ev := range byCause[c] {
+			if i == 0 || ev.TUnixNs < t {
+				t = ev.TUnixNs
+			}
+		}
+		return t
+	}
+	visited := map[string]bool{root: true}
+	var build func(cause string) *ChainNode
+	build = func(cause string) *ChainNode {
+		evs := byCause[cause]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TUnixNs < evs[j].TUnixNs })
+		n := &ChainNode{Cause: cause, Events: evs}
+		kids := make([]string, 0, len(children[cause]))
+		for kid := range children[cause] {
+			if visited[kid] {
+				continue
+			}
+			visited[kid] = true
+			kids = append(kids, kid)
+		}
+		sort.Slice(kids, func(i, j int) bool {
+			ti, tj := earliest(kids[i]), earliest(kids[j])
+			if ti != tj {
+				return ti < tj
+			}
+			return kids[i] < kids[j]
+		})
+		for _, kid := range kids {
+			n.Children = append(n.Children, build(kid))
+		}
+		return n
+	}
+	return build(root)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import "testing"
+
+// TestAssembleChainCrossNode reconstructs the canonical cross-shard
+// cascade from its flat parts:
+//
+//	c0 (trace, node A: root posting)
+//	└── c1 (hop, node A: outbox capture) + (ingest_hop incident, node B)
+//	    └── c2 (trace, node B: the ingested posting)
+//	        └── c3 (trace, node B: completing posting whose fire step
+//	                carries c2 — linked via the completion edge)
+func TestAssembleChainCrossNode(t *testing.T) {
+	c0, c1, c2, c3 := "00000000000000a0-1", "00000000000000a0-2", "00000000000000b0-1", "00000000000000b0-2"
+	traces := TraceChainEvents("nodeA", []TraceRecord{
+		{ID: 1, StartUnixNs: 100, Cause: c0, Event: "Kick"},
+	})
+	traces = append(traces, TraceChainEvents("nodeB", []TraceRecord{
+		{ID: 1, StartUnixNs: 300, Cause: c2, ParentCause: c1, Event: "First"},
+		{ID: 2, StartUnixNs: 400, Cause: c3, Event: "Second",
+			Steps: []Step{{Kind: StepFire, Trigger: "Pair", Cause: c2}}},
+	})...)
+	incidents := IncidentChainEvents("nodeB", []IncidentRecord{
+		{TUnixNs: 250, Kind: IncIngestHop, Cause: c1, ParentCause: c0},
+		{TUnixNs: 50, Kind: IncCommit}, // no cause: never enters the chain
+	})
+	hop := ChainEvent{Node: "nodeA", Kind: ChainHop, TUnixNs: 200, Cause: c1, ParentCause: c0, Detail: "outbox First"}
+
+	evs := append(append(traces, incidents...), hop)
+	root := AssembleChain(c0, evs)
+
+	if root.Cause != c0 || len(root.Events) != 1 || root.Events[0].Kind != ChainTrace {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 1 || root.Children[0].Cause != c1 {
+		t.Fatalf("c0 children = %+v", root.Children)
+	}
+	n1 := root.Children[0]
+	kinds := map[string]bool{}
+	for _, ev := range n1.Events {
+		kinds[ev.Kind] = true
+	}
+	if !kinds[ChainHop] || !kinds[ChainIncident] {
+		t.Fatalf("c1 events missing hop/incident: %+v", n1.Events)
+	}
+	if len(n1.Children) != 1 || n1.Children[0].Cause != c2 {
+		t.Fatalf("c1 children = %+v", n1.Children)
+	}
+	n2 := n1.Children[0]
+	if n2.Events[0].Node != "nodeB" {
+		t.Fatalf("c2 node = %q, want nodeB", n2.Events[0].Node)
+	}
+	if len(n2.Children) != 1 || n2.Children[0].Cause != c3 {
+		t.Fatalf("c2 children = %+v (completion edge missing?)", n2.Children)
+	}
+	var completion *ChainEvent
+	for i := range n2.Children[0].Events {
+		if n2.Children[0].Events[i].Kind == ChainCompletion {
+			completion = &n2.Children[0].Events[i]
+		}
+	}
+	if completion == nil || completion.ParentCause != c2 {
+		t.Fatalf("c3 completion edge = %+v", completion)
+	}
+}
+
+// TestAssembleChainCycleGuard: corrupt input with a parent cycle must
+// terminate and keep each cause at most once.
+func TestAssembleChainCycleGuard(t *testing.T) {
+	a, b := "0000000000000001-1", "0000000000000001-2"
+	root := AssembleChain(a, []ChainEvent{
+		{Kind: ChainHop, Cause: b, ParentCause: a},
+		{Kind: ChainHop, Cause: a, ParentCause: b},
+	})
+	if len(root.Children) != 1 || root.Children[0].Cause != b {
+		t.Fatalf("children = %+v", root.Children)
+	}
+	if len(root.Children[0].Children) != 0 {
+		t.Fatalf("cycle not guarded: %+v", root.Children[0].Children)
+	}
+}
+
+// TestAssembleChainDeterministicOrder: children sort by earliest event
+// time, then cause ID.
+func TestAssembleChainDeterministicOrder(t *testing.T) {
+	root, late, early := "0000000000000002-1", "0000000000000002-2", "0000000000000002-3"
+	n := AssembleChain(root, []ChainEvent{
+		{Kind: ChainHop, Cause: root},
+		{Kind: ChainHop, TUnixNs: 900, Cause: late, ParentCause: root},
+		{Kind: ChainHop, TUnixNs: 100, Cause: early, ParentCause: root},
+	})
+	if len(n.Children) != 2 || n.Children[0].Cause != early || n.Children[1].Cause != late {
+		t.Fatalf("children order = %+v", n.Children)
+	}
+}

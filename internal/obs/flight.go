@@ -33,6 +33,12 @@ const (
 	// replica's store differs from the primary's for at least one
 	// object that was not explained by replication lag.
 	IncDivergence = "divergence"
+	// IncIngestHop: a shard applied a forwarded remote event
+	// (shard.ingest). Cause is the capture-minted cause of the hop,
+	// ParentCause the originating posting on the sending shard, Value
+	// the outbox sequence number; the cause-chain assembler uses these
+	// records to stitch cascades across the outbox→forward→ingest hop.
+	IncIngestHop = "ingest_hop"
 )
 
 // IncidentKinds lists every kind the recorder emits, for the
@@ -47,6 +53,7 @@ var IncidentKinds = []string{
 	IncReplicaRedial,
 	IncPromotion,
 	IncDivergence,
+	IncIngestHop,
 }
 
 // incident is the in-ring representation: fixed-size, written in place
@@ -61,9 +68,13 @@ type incident struct {
 }
 
 // IncidentRecord is the exported snapshot form of one incident, as
-// served by the `flight` server op and `/flight` endpoint.
+// served by the `flight` server op and `/flight` endpoint. Node, when
+// set, is the 16-hex provenance label of the node that served the
+// snapshot (stamped at serve time — the in-ring form stays node-free
+// because the recorder is process-wide).
 type IncidentRecord struct {
 	TUnixNs     int64  `json:"t_unix_ns"`
+	Node        string `json:"node,omitempty"`
 	Kind        string `json:"kind"`
 	Cause       string `json:"cause,omitempty"`
 	ParentCause string `json:"parent_cause,omitempty"`

@@ -127,7 +127,7 @@ func TestFlightKindsListed(t *testing.T) {
 		}
 		seen[k] = true
 	}
-	if len(IncidentKinds) != 9 {
-		t.Fatalf("IncidentKinds has %d entries, want 9", len(IncidentKinds))
+	if len(IncidentKinds) != 10 {
+		t.Fatalf("IncidentKinds has %d entries, want 10", len(IncidentKinds))
 	}
 }

@@ -19,8 +19,9 @@ import (
 //	/debug/vars   expvar (Go runtime memstats plus the "ode" registry var)
 //	/debug/pprof  the standard pprof index, profile, trace, symbol pages
 //
-// health may be nil (always ready). Wire it with ode-server's -obs-addr
-// flag, or mount it yourself:
+// health may be nil (always ready), as may tr (a router has no tracer
+// of its own; /traces serves an empty array). Wire it with ode-server's
+// or ode-router's -obs-addr flag, or mount it yourself:
 //
 //	http.ListenAndServe("127.0.0.1:6060", obs.Handler(db.Observability(), db.Tracer(), nil))
 func Handler(reg *Registry, tr *Tracer, health *Health) http.Handler {
@@ -29,6 +30,10 @@ func Handler(reg *Registry, tr *Tracer, health *Health) http.Handler {
 		writeJSON(w, reg.Snapshot())
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			writeJSON(w, []TraceRecord{})
+			return
+		}
 		writeJSON(w, tr.Snapshot())
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fleet merging. A router fronting a sharded fleet answers `metrics`,
+// `trace`, and `flight` by fanning out to every shard and concatenating
+// the node-tagged snapshots; MergeSnapshots additionally folds the
+// per-shard registries into one aggregate view. The fold is exact, not
+// approximate: every Histogram shares the fixed log₂ layout
+// (HistogramBuckets), so merging is a bucket-wise add keyed by the
+// bucket's lower bound, and the merged quantiles are recomputed from
+// the merged buckets with the same geometric-midpoint rule
+// Histogram.Quantile uses.
+
+// NodeLabel renders a provenance node ID in the same fixed-width hex
+// form Cause.String uses for its node half, so a record's `node` tag
+// matches the prefix of the cause IDs minted on that node.
+func NodeLabel(node uint64) string { return fmt.Sprintf("%016x", node) }
+
+// TagMetrics stamps label into every entry whose Node is still empty
+// and returns snap. Entries tagged upstream (an already-merged view
+// passing through a second router) keep their original attribution.
+func TagMetrics(label string, snap []MetricValue) []MetricValue {
+	for i := range snap {
+		if snap[i].Node == "" {
+			snap[i].Node = label
+		}
+	}
+	return snap
+}
+
+// TagTraces is TagMetrics for firing-trace records.
+func TagTraces(label string, recs []TraceRecord) []TraceRecord {
+	for i := range recs {
+		if recs[i].Node == "" {
+			recs[i].Node = label
+		}
+	}
+	return recs
+}
+
+// TagIncidents is TagMetrics for flight-recorder incidents.
+func TagIncidents(label string, recs []IncidentRecord) []IncidentRecord {
+	for i := range recs {
+		if recs[i].Node == "" {
+			recs[i].Node = label
+		}
+	}
+	return recs
+}
+
+// MergeSnapshots folds any number of registry snapshots into one
+// aggregate snapshot, summing counters and bucket-wise adding
+// histograms that share a name. Kind/unit/help are taken from the first
+// snapshot that carries the name; the result is sorted by name and left
+// untagged (callers label it, e.g. "fleet").
+func MergeSnapshots(snaps ...[]MetricValue) []MetricValue {
+	merged := make(map[string]*MetricValue)
+	for _, snap := range snaps {
+		for i := range snap {
+			mv := snap[i]
+			acc, ok := merged[mv.Name]
+			if !ok {
+				cp := mv
+				cp.Node = ""
+				cp.Buckets = append([]Bucket(nil), mv.Buckets...)
+				merged[mv.Name] = &cp
+				continue
+			}
+			acc.Value += mv.Value
+			acc.Count += mv.Count
+			acc.Sum += mv.Sum
+			acc.Buckets = mergeBuckets(acc.Buckets, mv.Buckets)
+		}
+	}
+	out := make([]MetricValue, 0, len(merged))
+	for _, acc := range merged {
+		if acc.Kind == KindHistogram {
+			acc.P50 = quantileFromBuckets(acc.Count, acc.Buckets, 0.50)
+			acc.P99 = quantileFromBuckets(acc.Count, acc.Buckets, 0.99)
+		}
+		out = append(out, *acc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// mergeBuckets adds b into a bucket-wise. Because every histogram uses
+// the same fixed log₂ layout, buckets with equal Lo cover the same
+// value range and their counts add exactly; both inputs are ascending
+// by Lo, so this is a linear merge.
+func mergeBuckets(a, b []Bucket) []Bucket {
+	out := make([]Bucket, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Lo == b[j].Lo:
+			m := a[i]
+			m.Count += b[j].Count
+			out = append(out, m)
+			i++
+			j++
+		case a[i].Lo < b[j].Lo:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// quantileFromBuckets is Histogram.Quantile over a merged snapshot:
+// same rank rule, same geometric-midpoint estimate.
+func quantileFromBuckets(total uint64, buckets []Bucket, q float64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for _, b := range buckets {
+		seen += b.Count
+		if seen > rank {
+			if b.Lo == 0 {
+				return 0
+			}
+			return b.Lo + b.Lo/2
+		}
+	}
+	return 0
+}

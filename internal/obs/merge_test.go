@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestMergeSnapshotsCounters: counters with the same name sum across
+// snapshots; names unique to one snapshot pass through.
+func TestMergeSnapshotsCounters(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("a.hits", "count", "").Add(3)
+	r1.Counter("a.only_one", "count", "").Add(7)
+	r2 := NewRegistry()
+	r2.Counter("a.hits", "count", "").Add(5)
+
+	merged := MergeSnapshots(r1.Snapshot(), r2.Snapshot())
+	got := map[string]uint64{}
+	for _, mv := range merged {
+		got[mv.Name] = mv.Value
+	}
+	if got["a.hits"] != 8 {
+		t.Fatalf("a.hits = %d, want 8", got["a.hits"])
+	}
+	if got["a.only_one"] != 7 {
+		t.Fatalf("a.only_one = %d, want 7", got["a.only_one"])
+	}
+}
+
+// TestMergeSnapshotsHistograms: the fixed log₂ layout makes the merge
+// exact — merged buckets must equal the buckets of one histogram that
+// observed both nodes' values, and the quantiles must be recomputed
+// from the merged distribution (not copied from either side).
+func TestMergeSnapshotsHistograms(t *testing.T) {
+	r1 := NewRegistry()
+	h1 := r1.Histogram("a.lat_ns", "ns", "")
+	r2 := NewRegistry()
+	h2 := r2.Histogram("a.lat_ns", "ns", "")
+	whole := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h1.Observe(10)
+		whole.Observe(10)
+	}
+	for i := 0; i < 100; i++ {
+		h2.Observe(100000)
+		whole.Observe(100000)
+	}
+	h2.Observe(0)
+	whole.Observe(0)
+
+	merged := MergeSnapshots(r1.Snapshot(), r2.Snapshot())
+	if len(merged) != 1 {
+		t.Fatalf("got %d metrics, want 1", len(merged))
+	}
+	m := merged[0]
+	if m.Count != whole.Count() || m.Sum != whole.Sum() {
+		t.Fatalf("count/sum = %d/%d, want %d/%d", m.Count, m.Sum, whole.Count(), whole.Sum())
+	}
+	want := whole.snapshotBuckets()
+	if len(m.Buckets) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(m.Buckets), len(want))
+	}
+	for i, b := range m.Buckets {
+		if b != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+	if m.P50 != whole.Quantile(0.50) || m.P99 != whole.Quantile(0.99) {
+		t.Fatalf("p50/p99 = %d/%d, want %d/%d", m.P50, m.P99, whole.Quantile(0.50), whole.Quantile(0.99))
+	}
+	// The p50 must reflect the *merged* distribution: h1 alone has p50
+	// ~10, h2 alone ~100000; together the median sits in h2's bucket
+	// only if the rank rule was re-run over the merged counts. With 201
+	// observations (100 at 10, 100 at 100000, 1 at 0) the median is 10's
+	// bucket — cross-check it differs from h2's own p50.
+	if m.P50 == h2.Quantile(0.50) {
+		t.Fatalf("merged p50 %d equals h2's own p50 — quantiles were not recomputed", m.P50)
+	}
+}
+
+// TestTagHelpers: tagging stamps empty Node fields and preserves
+// upstream tags.
+func TestTagHelpers(t *testing.T) {
+	ms := TagMetrics("n1", []MetricValue{{Name: "a"}, {Name: "b", Node: "pre"}})
+	if ms[0].Node != "n1" || ms[1].Node != "pre" {
+		t.Fatalf("TagMetrics = %q/%q, want n1/pre", ms[0].Node, ms[1].Node)
+	}
+	tr := TagTraces("n1", []TraceRecord{{ID: 1}, {ID: 2, Node: "pre"}})
+	if tr[0].Node != "n1" || tr[1].Node != "pre" {
+		t.Fatalf("TagTraces = %q/%q, want n1/pre", tr[0].Node, tr[1].Node)
+	}
+	in := TagIncidents("n1", []IncidentRecord{{Kind: IncCommit}, {Kind: IncCommit, Node: "pre"}})
+	if in[0].Node != "n1" || in[1].Node != "pre" {
+		t.Fatalf("TagIncidents = %q/%q, want n1/pre", in[0].Node, in[1].Node)
+	}
+	if got := NodeLabel(0xA0); got != "00000000000000a0" {
+		t.Fatalf("NodeLabel = %q", got)
+	}
+}

@@ -167,9 +167,13 @@ type metric struct {
 
 // MetricValue is the snapshot form of one metric, JSON-serializable.
 // Counter metrics carry Value; histogram metrics carry Count, Sum, P50,
-// P99 and the non-empty Buckets.
+// P99 and the non-empty Buckets. Node, when set, names the node the
+// entry came from ("router", "fleet", or a 16-hex provenance node
+// label) — merged fleet views are concatenations of node-tagged
+// snapshots, so per-node attribution survives the merge.
 type MetricValue struct {
 	Name    string   `json:"name"`
+	Node    string   `json:"node,omitempty"`
 	Kind    Kind     `json:"kind"`
 	Unit    string   `json:"unit"`
 	Help    string   `json:"help,omitempty"`

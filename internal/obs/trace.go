@@ -87,8 +87,12 @@ type Trace struct {
 }
 
 // TraceRecord is the immutable, JSON-serializable snapshot of a Trace.
+// Node, when set, is the 16-hex provenance label of the node whose
+// tracer produced the record (stamped by the serving node, preserved by
+// the router's fleet merge).
 type TraceRecord struct {
 	ID          uint64 `json:"id"`
+	Node        string `json:"node,omitempty"`
 	StartUnixNs int64  `json:"start_unix_ns"`
 	EventID     uint32 `json:"event_id"`
 	Event       string `json:"event"`

@@ -46,6 +46,10 @@ const MaxTraceRate = 1 << 32
 // (disable), 0 (leave unchanged), nor 1..MaxTraceRate.
 var ErrInvalidTraceRate = errors.New("server: invalid trace rate (want -1 to disable, 0 to leave unchanged, or 1..2^32)")
 
+// ErrInvalidChainCause reports a trace.chain op whose cause is not a
+// parseable cause ID (and raw was not set).
+var ErrInvalidChainCause = errors.New(`server: invalid trace.chain cause (want "%016x-%d" form, or raw:true for flat events)`)
+
 // ErrSnapshotWrite reports a mutating op sent on a session whose open
 // transaction is a snapshot ({"op":"begin","snapshot":true}): snapshot
 // transactions are read-only by construction. Commit (or abort) and
@@ -102,6 +106,13 @@ type Request struct {
 	// notifications from the named origin shard (docs/SHARDING.md).
 	Origin uint64             `json:"origin,omitempty"`
 	Events []core.RemoteEvent `json:"events,omitempty"`
+	// Cause, on trace.chain, is the root cause ID whose cascade to
+	// assemble (the "%016x-%d" form cause IDs are rendered in).
+	Cause string `json:"cause,omitempty"`
+	// Raw, on trace.chain, skips assembly and returns this node's flat
+	// chain events; the router uses it to collect from every shard
+	// before assembling fleet-wide.
+	Raw bool `json:"raw,omitempty"`
 }
 
 // Response is the server's reply.
@@ -573,29 +584,47 @@ func (sess *session) handle(req *Request) *Response {
 		return &Response{OK: true, Refs: refs}
 	case "metrics":
 		// The full observability snapshot: every registered counter and
-		// histogram (docs/OBSERVABILITY.md documents each name). No
-		// transaction needed.
-		return &Response{OK: true, Result: sess.db.Observability().Snapshot()}
+		// histogram (docs/OBSERVABILITY.md documents each name), tagged
+		// with this node's provenance label so merged fleet views stay
+		// attributable. No transaction needed.
+		return &Response{OK: true, Result: obs.TagMetrics(sess.nodeLabel(), sess.db.Observability().Snapshot())}
 	case "trace":
-		// Export the firing-trace ring, oldest first. rate > 0 first sets
-		// 1-in-rate sampling (1 = every posting), rate -1 disables
-		// tracing, rate 0 leaves the current rate untouched. Anything
-		// else — other negatives, rates past MaxTraceRate — used to
-		// silently misconfigure the sampler; now it is a typed error.
-		switch {
-		case req.Rate == 0:
-		case req.Rate == -1:
-			sess.db.Tracer().SetRate(0)
-		case req.Rate > 0 && req.Rate <= MaxTraceRate:
-			sess.db.Tracer().SetRate(uint64(req.Rate))
-		default:
-			return sess.fail(fmt.Errorf("%w: got %d", ErrInvalidTraceRate, req.Rate))
+		// Export the firing-trace ring, oldest first, node-tagged.
+		// rate > 0 first sets 1-in-rate sampling (1 = every posting),
+		// rate -1 disables tracing, rate 0 leaves the current rate
+		// untouched. Anything else — other negatives, rates past
+		// MaxTraceRate — used to silently misconfigure the sampler; now
+		// it is a typed error.
+		if resp := sess.applyTraceRate(req.Rate); resp != nil {
+			return resp
 		}
-		return &Response{OK: true, Result: sess.db.Tracer().Snapshot()}
+		return &Response{OK: true, Result: obs.TagTraces(sess.nodeLabel(), sess.db.Tracer().Snapshot())}
+	case "trace.rate":
+		// Set (or just read, rate 0) the sampling rate without paying for
+		// a ring snapshot, and ack with this node's resulting rate. The
+		// router broadcasts it to every shard and reports per-shard acks.
+		if resp := sess.applyTraceRate(req.Rate); resp != nil {
+			return resp
+		}
+		return &Response{OK: true, Result: TraceRateAck{Node: sess.nodeLabel(), Rate: sess.db.Tracer().Rate()}}
+	case "trace.chain":
+		// Serve the cause-chain view: raw → this node's flat chain
+		// events (traces, cause-carrying incidents, outbox hops);
+		// otherwise the tree assembled for req.Cause. The router fans the
+		// raw form out to every shard and assembles fleet-wide.
+		evs := chainEvents(sess.db)
+		if req.Raw {
+			return &Response{OK: true, Result: ChainEvents{Events: evs}}
+		}
+		if _, ok := obs.ParseCause(req.Cause); !ok {
+			return sess.fail(fmt.Errorf("%w: got %q", ErrInvalidChainCause, req.Cause))
+		}
+		return &Response{OK: true, Result: obs.AssembleChain(req.Cause, evs)}
 	case "flight":
-		// Export the process-wide flight recorder's ring, oldest first.
-		// No transaction needed; the recorder is always on.
-		return &Response{OK: true, Result: obs.Flight().Snapshot()}
+		// Export the process-wide flight recorder's ring, oldest first,
+		// tagged with the serving node's label. No transaction needed;
+		// the recorder is always on.
+		return &Response{OK: true, Result: obs.TagIncidents(sess.nodeLabel(), obs.Flight().Snapshot())}
 	case "proto":
 		// Report the transport this very connection negotiated plus the
 		// server's wire counters (ode-inspect -wire). No transaction
@@ -615,6 +644,63 @@ func (sess *session) handle(req *Request) *Response {
 	default:
 		return sess.fail(fmt.Errorf("unknown op %q", req.Op))
 	}
+}
+
+// nodeLabel is the serving database's provenance node rendered in the
+// fixed 16-hex form cause IDs use, stamped into metrics/trace/flight
+// results so fleet merges stay attributable.
+func (sess *session) nodeLabel() string {
+	return obs.NodeLabel(sess.db.Causes().Node())
+}
+
+// applyTraceRate applies the shared trace/trace.rate rate grammar,
+// returning a failure response for invalid rates and nil on success.
+func (sess *session) applyTraceRate(rate int64) *Response {
+	switch {
+	case rate == 0:
+	case rate == -1:
+		sess.db.Tracer().SetRate(0)
+	case rate > 0 && rate <= MaxTraceRate:
+		sess.db.Tracer().SetRate(uint64(rate))
+	default:
+		return sess.fail(fmt.Errorf("%w: got %d", ErrInvalidTraceRate, rate))
+	}
+	return nil
+}
+
+// chainEvents collects one node's flat cause-chain material: sampled
+// firing traces, cause-carrying flight incidents, and committed outbox
+// entries (the sending half of cross-shard hops, empty on an unsharded
+// database).
+func chainEvents(db *core.Database) []obs.ChainEvent {
+	label := obs.NodeLabel(db.Causes().Node())
+	evs := obs.TraceChainEvents(label, db.Tracer().Snapshot())
+	evs = append(evs, obs.IncidentChainEvents(label, obs.Flight().Snapshot())...)
+	for _, e := range db.OutboxSnapshot() {
+		evs = append(evs, obs.ChainEvent{
+			Node:        label,
+			Kind:        obs.ChainHop,
+			Cause:       e.Cause().String(),
+			ParentCause: e.Parent,
+			Detail:      fmt.Sprintf("outbox %s for oid %d (awaiting forward)", e.Event, e.Target),
+		})
+	}
+	return evs
+}
+
+// TraceRateAck is the trace.rate op's result: the answering node and
+// the sampling rate now in effect there. Documented in
+// docs/PROTOCOL.md.
+type TraceRateAck struct {
+	Node string `json:"node"`
+	Rate uint64 `json:"rate"`
+}
+
+// ChainEvents wraps the flat chain-event list a raw trace.chain
+// returns, so the result is a JSON object (extensible) rather than a
+// bare array.
+type ChainEvents struct {
+	Events []obs.ChainEvent `json:"events"`
 }
 
 // ProtoStatus is the proto op's result: which transport the asking
@@ -642,7 +728,7 @@ func BuiltinOps() []string {
 	return []string{
 		"abort", "activate", "begin", "clusteradd", "commit", "create",
 		"deactivate", "flight", "get", "invoke", "metrics", "post",
-		"proto", "scan", "trace", "triggers",
+		"proto", "scan", "trace", "trace.chain", "trace.rate", "triggers",
 	}
 }
 

@@ -260,7 +260,15 @@ func Ops(db *core.Database, ring *Ring, self int, addrs []string) map[string]fun
 			return &server.Response{OK: true, Watermark: wm}
 		},
 		"shard.status": func(req *server.Request) *server.Response {
-			st := Status{Shards: ring.Shards(), Vnodes: ring.Vnodes(), Self: self, Addrs: addrs}
+			st := Status{
+				Shards:           ring.Shards(),
+				Vnodes:           ring.Vnodes(),
+				Self:             self,
+				Node:             obs.NodeLabel(db.Causes().Node()),
+				Addrs:            addrs,
+				OutboxPending:    db.OutboxDepth(),
+				IngestWatermarks: db.IngestWatermarks(),
+			}
 			raw, err := json.Marshal(st)
 			if err != nil {
 				return &server.Response{Error: err.Error()}
@@ -274,6 +282,16 @@ func Ops(db *core.Database, ring *Ring, self int, addrs []string) map[string]fun
 type Status struct {
 	Shards int      `json:"shards"`
 	Vnodes int      `json:"vnodes"`
-	Self   int      `json:"self"` // -1 when answered by the router
+	Self   int      `json:"self"`           // -1 when answered by the router
+	Node   string   `json:"node,omitempty"` // the shard's 16-hex provenance label
 	Addrs  []string `json:"addrs,omitempty"`
+	// OutboxPending is the shard's not-yet-acked outbox depth
+	// (committed queue + open-transaction captures).
+	OutboxPending uint64 `json:"outbox_pending,omitempty"`
+	// IngestWatermarks maps origin node labels to the highest ingested
+	// seq this process has observed from them.
+	IngestWatermarks map[string]uint64 `json:"ingest_watermarks,omitempty"`
+	// Fleet, on the router's merged status, carries every shard's own
+	// status in ring order.
+	Fleet []Status `json:"fleet,omitempty"`
 }

@@ -1,0 +1,466 @@
+package shard
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ode/internal/obs"
+	"ode/internal/server"
+)
+
+// decodeResult JSON round-trips a response's Result into a typed value
+// (the JSON client decodes Result as generic interface values).
+func decodeResult[T any](t *testing.T, result any) T {
+	t.Helper()
+	raw, err := json.Marshal(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out T
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// routerClient dials the cluster's router with a JSON session.
+func routerClient(t *testing.T, c *testCluster) *server.Client {
+	t.Helper()
+	cl, err := server.Dial(c.raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// chainViaKick drives the canonical cross-shard cascade: docA on shard
+// 0 carries the Chain trigger whose action posts First to docB on shard
+// 1, so posting Kick on A makes the event hop through outbox → forward
+// → ingest. Returns (docA, docB).
+func chainViaKick(t *testing.T, c *testCluster) (uint64, uint64) {
+	t.Helper()
+	docB := mkDoc(t, c.nodes[1], &Doc{})
+	docA := mkDoc(t, c.nodes[0], &Doc{Next: docB})
+	activate(t, c.nodes[0], docA, "Chain")
+	post(t, c.nodes[0], docA, "Kick")
+	return docA, docB
+}
+
+// TestRouterMergedMetrics: the metrics op through the router returns a
+// node-tagged fleet view — per-shard entries, the router's own
+// registry, and a "fleet" aggregate whose values are the exact sum of
+// the shard entries.
+func TestRouterMergedMetrics(t *testing.T) {
+	c := startCluster(t, 2, clusterConfig{})
+	for i := range c.nodes {
+		mkDoc(t, c.nodes[i], &Doc{}) // some committed work on each shard
+	}
+	cl := routerClient(t, c)
+	resp, err := cl.Call(&server.Request{Op: "metrics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("metrics via router: %s", resp.Error)
+	}
+	mvs := decodeResult[[]obs.MetricValue](t, resp.Result)
+
+	labels := map[string]bool{}
+	for _, mv := range mvs {
+		labels[mv.Node] = true
+	}
+	for _, want := range []string{obs.NodeLabel(0xA0), obs.NodeLabel(0xA1), "router", "fleet"} {
+		if !labels[want] {
+			t.Fatalf("merged metrics missing node label %q (got %v)", want, labels)
+		}
+	}
+
+	// The fleet aggregate must be the bucket-exact sum of the shard
+	// entries, for every metric name it carries.
+	shardVals := map[string]uint64{}
+	shardCounts := map[string]uint64{}
+	for _, mv := range mvs {
+		if len(mv.Node) == 16 { // a shard's 16-hex provenance label
+			shardVals[mv.Name] += mv.Value
+			shardCounts[mv.Name] += mv.Count
+		}
+	}
+	checked := 0
+	for _, mv := range mvs {
+		if mv.Node != "fleet" {
+			continue
+		}
+		checked++
+		if mv.Value != shardVals[mv.Name] || mv.Count != shardCounts[mv.Name] {
+			t.Fatalf("fleet %s = value %d count %d, want shard sums %d/%d",
+				mv.Name, mv.Value, mv.Count, shardVals[mv.Name], shardCounts[mv.Name])
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no fleet-tagged aggregate entries in merged metrics")
+	}
+
+	// The router's own stage histograms ride along under the "router"
+	// tag, and the fan-out we just did must have timed its merge.
+	routerNames := map[string]uint64{}
+	for _, mv := range mvs {
+		if mv.Node == "router" {
+			routerNames[mv.Name] = mv.Count
+		}
+	}
+	for _, want := range []string{"router.route_ns", "router.forward_ns", "router.merge_ns"} {
+		if _, ok := routerNames[want]; !ok {
+			t.Fatalf("router-tagged metrics missing %s (got %v)", want, routerNames)
+		}
+	}
+	if routerNames["router.forward_ns"] == 0 {
+		t.Fatal("router.forward_ns count is zero after a fan-out")
+	}
+}
+
+// TestTraceRateBroadcast: trace.rate through the router reaches every
+// shard (the old trace op only ever re-sampled shard 0) and reports a
+// per-shard ack; the shards' samplers actually change.
+func TestTraceRateBroadcast(t *testing.T) {
+	c := startCluster(t, 2, clusterConfig{})
+	cl := routerClient(t, c)
+
+	resp, err := cl.Call(&server.Request{Op: "trace.rate", Rate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("trace.rate via router: %s", resp.Error)
+	}
+	acks := decodeResult[RateAcks](t, resp.Result)
+	if len(acks.Acks) != 2 {
+		t.Fatalf("got %d acks, want 2: %+v", len(acks.Acks), acks)
+	}
+	for i, ack := range acks.Acks {
+		if ack.Shard != i || ack.Node != obs.NodeLabel(uint64(0xA0+i)) || ack.Rate != 3 {
+			t.Fatalf("ack %d = %+v, want shard %d node %s rate 3", i, ack, i, obs.NodeLabel(uint64(0xA0+i)))
+		}
+	}
+	for i, node := range c.nodes {
+		if got := node.db.Tracer().Rate(); got != 3 {
+			t.Fatalf("shard %d sampler rate %d after broadcast, want 3", i, got)
+		}
+	}
+
+	// Rate -1 disables fleet-wide and acks rate 0.
+	resp, err = cl.Call(&server.Request{Op: "trace.rate", Rate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acks = decodeResult[RateAcks](t, resp.Result)
+	for _, ack := range acks.Acks {
+		if ack.Rate != 0 {
+			t.Fatalf("after disable, ack = %+v, want rate 0", ack)
+		}
+	}
+	for i, node := range c.nodes {
+		if got := node.db.Tracer().Rate(); got != 0 {
+			t.Fatalf("shard %d sampler rate %d after disable, want 0", i, got)
+		}
+	}
+}
+
+// TestRouterMergedTraceAndFlight: trace and flight through the router
+// concatenate every shard's records, each tagged with its origin node,
+// and the flight view includes the ingest_hop incident a cross-shard
+// delivery records.
+func TestRouterMergedTraceAndFlight(t *testing.T) {
+	c := startCluster(t, 2, clusterConfig{})
+	cl := routerClient(t, c)
+	if resp, err := cl.Call(&server.Request{Op: "trace.rate", Rate: 1}); err != nil || !resp.OK {
+		t.Fatalf("trace.rate: %v %+v", err, resp)
+	}
+	_, docB := chainViaKick(t, c)
+	waitFor(t, 5*time.Second, "First to hop to shard 1", func() bool {
+		for _, rec := range c.nodes[1].db.Tracer().Snapshot() {
+			if rec.Event == "Doc::First" {
+				return true
+			}
+		}
+		return false
+	})
+	post(t, c.nodes[1], docB, "Second")
+
+	resp, err := cl.Call(&server.Request{Op: "trace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("trace via router: %s", resp.Error)
+	}
+	recs := decodeResult[[]obs.TraceRecord](t, resp.Result)
+	byNode := map[string][]string{}
+	for _, rec := range recs {
+		byNode[rec.Node] = append(byNode[rec.Node], rec.Event)
+	}
+	if evs := byNode[obs.NodeLabel(0xA0)]; !contains(evs, "Doc::Kick") {
+		t.Fatalf("shard 0 traces missing Kick: %v", evs)
+	}
+	if evs := byNode[obs.NodeLabel(0xA1)]; !contains(evs, "Doc::First") || !contains(evs, "Doc::Second") {
+		t.Fatalf("shard 1 traces missing First/Second: %v", evs)
+	}
+
+	resp, err = cl.Call(&server.Request{Op: "flight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("flight via router: %s", resp.Error)
+	}
+	incs := decodeResult[[]obs.IncidentRecord](t, resp.Result)
+	hop := false
+	for _, inc := range incs {
+		if inc.Node == "" {
+			t.Fatalf("untagged incident in merged flight view: %+v", inc)
+		}
+		if inc.Kind == obs.IncIngestHop && strings.Contains(inc.Detail, "applied First") {
+			hop = true
+		}
+	}
+	if !hop {
+		t.Fatal("merged flight view has no ingest_hop incident for the First delivery")
+	}
+}
+
+// TestShardStatusMerged: shard.status through the router wraps every
+// shard's self-report — node label, outbox depth, ingest watermarks —
+// in one fleet document.
+func TestShardStatusMerged(t *testing.T) {
+	c := startCluster(t, 2, clusterConfig{})
+	chainViaKick(t, c)
+	senderLabel := obs.NodeLabel(0xA0)
+	waitFor(t, 5*time.Second, "shard 1 ingest watermark from shard 0", func() bool {
+		return c.nodes[1].db.IngestWatermarks()[senderLabel] >= 1
+	})
+
+	cl := routerClient(t, c)
+	resp, err := cl.Call(&server.Request{Op: "shard.status"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("shard.status via router: %s", resp.Error)
+	}
+	var st Status
+	if err := json.Unmarshal(resp.Value, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "router" || st.Self != -1 || st.Shards != 2 {
+		t.Fatalf("router status header = %+v", st)
+	}
+	if len(st.Fleet) != 2 {
+		t.Fatalf("fleet has %d entries, want 2", len(st.Fleet))
+	}
+	for i, fs := range st.Fleet {
+		if fs.Self != i || fs.Node != obs.NodeLabel(uint64(0xA0+i)) {
+			t.Fatalf("fleet[%d] = self %d node %q", i, fs.Self, fs.Node)
+		}
+	}
+	if wm := st.Fleet[1].IngestWatermarks[senderLabel]; wm < 1 {
+		t.Fatalf("fleet[1] ingest watermark for %s = %d, want >= 1", senderLabel, wm)
+	}
+}
+
+// TestCrossShardChainContinuity: the parent_cause link survives the
+// outbox → forward → ingest hop — the capture-minted hop cause carries
+// the originating posting as its parent, the receiving shard's
+// ingest_hop incident records both, and the remote firing's trace
+// record chains onto the hop cause. Run under -race in CI.
+func TestCrossShardChainContinuity(t *testing.T) {
+	c := startCluster(t, 2, clusterConfig{noRouter: true})
+	for _, node := range c.nodes {
+		node.db.Tracer().SetRate(1)
+	}
+	chainViaKick(t, c)
+	waitFor(t, 5*time.Second, "First to hop to shard 1", func() bool {
+		for _, rec := range c.nodes[1].db.Tracer().Snapshot() {
+			if rec.Event == "Doc::First" {
+				return true
+			}
+		}
+		return false
+	})
+
+	var kickCause string
+	for _, rec := range c.nodes[0].db.Tracer().Snapshot() {
+		if rec.Event == "Doc::Kick" {
+			kickCause = rec.Cause
+		}
+	}
+	if kickCause == "" {
+		t.Fatal("no trace for the Kick posting on shard 0")
+	}
+
+	// The outbox capture minted the hop cause with the Kick posting as
+	// parent; the ingest recorded it.
+	var hopCause string
+	for _, inc := range obs.Flight().Snapshot() {
+		if inc.Kind == obs.IncIngestHop && inc.ParentCause == kickCause {
+			hopCause = inc.Cause
+		}
+	}
+	if hopCause == "" {
+		t.Fatalf("no ingest_hop incident with parent %s", kickCause)
+	}
+
+	// The remote posting's trace chains onto the hop cause.
+	found := false
+	for _, rec := range c.nodes[1].db.Tracer().Snapshot() {
+		if rec.Event == "Doc::First" && rec.ParentCause == hopCause {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no First trace on shard 1 with parent_cause %s (hop link broken)", hopCause)
+	}
+}
+
+// TestTraceChainCrossShardTree is the headline: a composite trigger
+// whose pattern half-matches on one shard and completes on another,
+// reconstructed as one parent-linked tree by trace.chain through the
+// router. Kick on shard 0 fires Chain, whose action posts First to
+// docB on shard 1 (hop); First half-matches docB's Pair; Second
+// completes it. The chain rooted at the Kick posting must span both
+// nodes: Kick → hop → ingested First → completion edge from the Second
+// posting.
+func TestTraceChainCrossShardTree(t *testing.T) {
+	c := startCluster(t, 2, clusterConfig{})
+	cl := routerClient(t, c)
+	if resp, err := cl.Call(&server.Request{Op: "trace.rate", Rate: 1}); err != nil || !resp.OK {
+		t.Fatalf("trace.rate: %v %+v", err, resp)
+	}
+
+	docB := mkDoc(t, c.nodes[1], &Doc{})
+	activate(t, c.nodes[1], docB, "Pair")
+	docA := mkDoc(t, c.nodes[0], &Doc{Next: docB})
+	activate(t, c.nodes[0], docA, "Chain")
+
+	// Drive the workload through the router, like a client would.
+	sess, err := server.Dial(c.raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PostUserEvent(docA, "Kick"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "First to hop to shard 1", func() bool {
+		for _, rec := range c.nodes[1].db.Tracer().Snapshot() {
+			if rec.Event == "Doc::First" {
+				return true
+			}
+		}
+		return false
+	})
+	if err := sess.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PostUserEvent(docB, "Second"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "Pair to complete on shard 1", func() bool {
+		return audits(t, c.nodes[1], docB) == 1
+	})
+
+	var kickCause string
+	for _, rec := range c.nodes[0].db.Tracer().Snapshot() {
+		if rec.Event == "Doc::Kick" {
+			kickCause = rec.Cause
+		}
+	}
+	if kickCause == "" {
+		t.Fatal("no trace for the Kick posting on shard 0")
+	}
+
+	resp, err := cl.Call(&server.Request{Op: "trace.chain", Cause: kickCause})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("trace.chain via router: %s", resp.Error)
+	}
+	root := decodeResult[obs.ChainNode](t, resp.Result)
+	if root.Cause != kickCause {
+		t.Fatalf("chain root = %s, want %s", root.Cause, kickCause)
+	}
+
+	// Kick → hop: the capture-minted cause, carrying hop and/or
+	// ingest_hop evidence.
+	hop := childWithEvent(&root, func(ev obs.ChainEvent) bool {
+		return ev.Kind == obs.ChainHop || ev.Kind == obs.ChainIncident
+	})
+	if hop == nil {
+		t.Fatalf("chain root has no hop child: %+v", root.Children)
+	}
+	// hop → the ingested First posting on shard 1.
+	first := childWithEvent(hop, func(ev obs.ChainEvent) bool {
+		return ev.Kind == obs.ChainTrace && ev.Node == obs.NodeLabel(0xA1) &&
+			ev.Trace != nil && ev.Trace.Event == "Doc::First"
+	})
+	if first == nil {
+		t.Fatalf("hop node %s has no ingested First child: %+v", hop.Cause, hop.Children)
+	}
+	// First → the completing Second posting, linked by the completion
+	// edge carried on its fire step.
+	second := childWithEvent(first, func(ev obs.ChainEvent) bool {
+		return ev.Kind == obs.ChainCompletion && ev.ParentCause == first.Cause
+	})
+	if second == nil {
+		t.Fatalf("First node %s has no completion child: %+v", first.Cause, first.Children)
+	}
+
+	// The tree spans both shards.
+	nodes := map[string]bool{}
+	var walk func(n *obs.ChainNode)
+	walk = func(n *obs.ChainNode) {
+		for _, ev := range n.Events {
+			nodes[ev.Node] = true
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(&root)
+	if !nodes[obs.NodeLabel(0xA0)] || !nodes[obs.NodeLabel(0xA1)] {
+		t.Fatalf("chain does not span both shards: %v", nodes)
+	}
+}
+
+// childWithEvent returns the first child of n carrying an event
+// matching pred.
+func childWithEvent(n *obs.ChainNode, pred func(obs.ChainEvent) bool) *obs.ChainNode {
+	for _, ch := range n.Children {
+		for _, ev := range ch.Events {
+			if pred(ev) {
+				return ch
+			}
+		}
+	}
+	return nil
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

@@ -26,9 +26,10 @@ import (
 //
 //   - A transaction that touches several shards commits per shard, in
 //     shard order, not atomically: a crash mid-commit can land a prefix.
-//   - metrics reports the router's own registry (shard.route_*); dial a
-//     shard directly for its database metrics. trace and flight report
-//     shard 0.
+//   - metrics, trace, flight, trace.rate, trace.chain, and shard.status
+//     fan out to every shard and answer with the merged, node-tagged
+//     fleet view (metrics folds in the router's own registry and a
+//     "fleet" aggregate; docs/OBSERVABILITY.md §"Fleet observability").
 //   - Stream ops splice to StreamShard on the JSON protocol and fail
 //     with ErrStreamOverBinary on binary framing, exactly as a single
 //     server would.
@@ -47,6 +48,10 @@ type Router struct {
 	fanouts  *obs.Counter
 	rejects  *obs.Counter
 	streams  *obs.Counter
+
+	routeNs   *obs.Histogram
+	forwardNs *obs.Histogram
+	mergeNs   *obs.Histogram
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -104,6 +109,9 @@ func NewRouter(ring *Ring, opts RouterOptions) (*Router, error) {
 	rt.fanouts = rt.reg.Counter("shard.route_fanouts", "count", "requests fanned out to every shard")
 	rt.rejects = rt.reg.Counter("shard.route_rejects", "count", "requests rejected at the router (typed error)")
 	rt.streams = rt.reg.Counter("shard.route_streams", "count", "stream connections spliced to a shard")
+	rt.routeNs = rt.reg.Histogram("router.route_ns", "ns", "time to classify a request and ready its backend (lazy transaction join included)")
+	rt.forwardNs = rt.reg.Histogram("router.forward_ns", "ns", "backend round-trip time per synchronously forwarded call (pipelined binary batches are not individually timed)")
+	rt.mergeNs = rt.reg.Histogram("router.merge_ns", "ns", "time to merge a fan-out's responses into the fleet view")
 	rt.muxes = make([]*server.Mux, ring.Shards())
 	for i, addr := range opts.Addrs {
 		m, err := server.DialMux(addr, opts.Client)
@@ -209,7 +217,7 @@ type Route struct {
 // routeOf classifies req. Pure: no router state, no side effects.
 func routeOf(ring *Ring, req *server.Request) Route {
 	switch req.Op {
-	case "begin", "commit", "abort", "proto", "metrics", "shard.status":
+	case "begin", "commit", "abort", "proto":
 		return Route{Kind: routeLocal}
 	case "create":
 		return Route{Kind: routeCreate}
@@ -221,8 +229,10 @@ func routeOf(ring *Ring, req *server.Request) Route {
 		return Route{Kind: routeOne, Dest: ring.Owner(req.ID)}
 	case "scan":
 		return Route{Kind: routeAll}
-	case "trace", "flight":
-		return Route{Kind: routeOne, Dest: 0}
+	case "metrics", "trace", "flight", "trace.rate", "trace.chain", "shard.status":
+		// The fleet observability plane: every shard answers, the router
+		// merges (and contributes its own registry / flight ring).
+		return Route{Kind: routeAll}
 	case "shard.ingest":
 		return Route{Kind: routeReject, Err: ErrIngestViaRouter}
 	case "repl.subscribe", "repl.recon":
@@ -337,11 +347,15 @@ func (s *rsession) handle(req *server.Request) *server.Response {
 
 // forward sends req to shard d inside the session's transaction.
 func (s *rsession) forward(d int, req *server.Request) *server.Response {
+	t0 := time.Now()
 	b, failed := s.enter(d)
+	s.rt.routeNs.Observe(time.Since(t0).Nanoseconds())
 	if failed != nil {
 		return failed
 	}
+	t1 := time.Now()
 	resp, err := b.Call(req)
+	s.rt.forwardNs.Observe(time.Since(t1).Nanoseconds())
 	if err != nil {
 		return &server.Response{Error: err.Error()}
 	}
@@ -368,16 +382,28 @@ func (s *rsession) abortTouched(skip int) {
 	s.snapshot = false
 }
 
-// fanout sends req to every shard and merges the responses (scan: the
-// union of Refs, sorted for determinism).
+// fanout sends req to every shard and merges the responses. scan joins
+// the session's transaction; the observability ops are sessionless and
+// merge node-tagged snapshots instead.
 func (s *rsession) fanout(req *server.Request) *server.Response {
+	if req.Op == "scan" {
+		return s.fanoutScan(req)
+	}
+	return s.fanoutObs(req)
+}
+
+// fanoutScan merges scan responses: the union of Refs, sorted for
+// determinism.
+func (s *rsession) fanoutScan(req *server.Request) *server.Response {
 	var refs []uint64
 	for d := 0; d < s.rt.ring.Shards(); d++ {
 		b, failed := s.enter(d)
 		if failed != nil {
 			return failed
 		}
+		t0 := time.Now()
 		resp, err := b.Call(req)
+		s.rt.forwardNs.Observe(time.Since(t0).Nanoseconds())
 		if err != nil {
 			return &server.Response{Error: err.Error()}
 		}
@@ -386,8 +412,172 @@ func (s *rsession) fanout(req *server.Request) *server.Response {
 		}
 		refs = append(refs, resp.Refs...)
 	}
+	t1 := time.Now()
 	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	s.rt.mergeNs.Observe(time.Since(t1).Nanoseconds())
 	return &server.Response{OK: true, Refs: refs}
+}
+
+// fanoutObs broadcasts an observability op to every shard — outside any
+// front transaction; the ops are sessionless on the shards too — and
+// merges the node-tagged responses into the fleet view. A shard that
+// cannot answer fails the whole request by name: a silently partial
+// fleet view would read as "nothing happened on shard 3".
+func (s *rsession) fanoutObs(req *server.Request) *server.Response {
+	rt := s.rt
+	breq := *req
+	if req.Op == "trace.chain" {
+		// Collect flat events from every shard; assembly happens once,
+		// here, with the whole fleet's links in hand.
+		breq.Raw = true
+	}
+	calls := make([]*server.Response, rt.ring.Shards())
+	for d := 0; d < rt.ring.Shards(); d++ {
+		t0 := time.Now()
+		resp, err := s.backend(d).Call(&breq)
+		rt.forwardNs.Observe(time.Since(t0).Nanoseconds())
+		if err != nil {
+			return &server.Response{Error: fmt.Sprintf("shard %d: %v", d, err)}
+		}
+		if !resp.OK {
+			return &server.Response{Error: fmt.Sprintf("shard %d: %s", d, resp.Error)}
+		}
+		calls[d] = resp
+	}
+	t1 := time.Now()
+	resp := s.mergeObs(req, calls)
+	rt.mergeNs.Observe(time.Since(t1).Nanoseconds())
+	return resp
+}
+
+// decodeResults re-marshals each fan-out response's Result into out[i]
+// (a pointer to a slice or struct): the mux client decodes Result as
+// untyped JSON, and a round trip is the protocol-faithful way back to
+// the typed form.
+func decodeResults[T any](calls []*server.Response) ([]T, error) {
+	out := make([]T, len(calls))
+	for i, resp := range calls {
+		raw, err := json.Marshal(resp.Result)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %v", i, err)
+		}
+		if err := json.Unmarshal(raw, &out[i]); err != nil {
+			return nil, fmt.Errorf("shard %d: %v", i, err)
+		}
+	}
+	return out, nil
+}
+
+// mergeObs builds the fleet view for one observability fan-out.
+func (s *rsession) mergeObs(req *server.Request, calls []*server.Response) *server.Response {
+	rt := s.rt
+	fail := func(err error) *server.Response {
+		return &server.Response{Error: fmt.Sprintf("shard: merge %s: %v", req.Op, err)}
+	}
+	switch req.Op {
+	case "metrics":
+		// Per-shard entries (node-tagged by each shard), the router's own
+		// registry tagged "router", and a bucket-exact aggregate tagged
+		// "fleet", sorted by (name, node) for determinism.
+		snaps, err := decodeResults[[]obs.MetricValue](calls)
+		if err != nil {
+			return fail(err)
+		}
+		merged := obs.TagMetrics("fleet", obs.MergeSnapshots(snaps...))
+		merged = append(merged, obs.TagMetrics("router", rt.reg.Snapshot())...)
+		for _, snap := range snaps {
+			merged = append(merged, snap...)
+		}
+		sort.SliceStable(merged, func(i, j int) bool {
+			if merged[i].Name != merged[j].Name {
+				return merged[i].Name < merged[j].Name
+			}
+			return merged[i].Node < merged[j].Node
+		})
+		return &server.Response{OK: true, Result: merged}
+	case "trace":
+		recs, err := decodeResults[[]obs.TraceRecord](calls)
+		if err != nil {
+			return fail(err)
+		}
+		var merged []obs.TraceRecord
+		for _, rs := range recs {
+			merged = append(merged, rs...)
+		}
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].StartUnixNs < merged[j].StartUnixNs })
+		return &server.Response{OK: true, Result: merged}
+	case "flight":
+		recs, err := decodeResults[[]obs.IncidentRecord](calls)
+		if err != nil {
+			return fail(err)
+		}
+		merged := obs.TagIncidents("router", obs.Flight().Snapshot())
+		for _, rs := range recs {
+			merged = append(merged, rs...)
+		}
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].TUnixNs < merged[j].TUnixNs })
+		return &server.Response{OK: true, Result: merged}
+	case "trace.rate":
+		acks, err := decodeResults[server.TraceRateAck](calls)
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]RateAck, len(acks))
+		for d, ack := range acks {
+			out[d] = RateAck{Shard: d, Node: ack.Node, Rate: ack.Rate}
+		}
+		return &server.Response{OK: true, Result: RateAcks{Acks: out}}
+	case "trace.chain":
+		raws, err := decodeResults[server.ChainEvents](calls)
+		if err != nil {
+			return fail(err)
+		}
+		var evs []obs.ChainEvent
+		for _, r := range raws {
+			evs = append(evs, r.Events...)
+		}
+		if req.Raw {
+			return &server.Response{OK: true, Result: server.ChainEvents{Events: evs}}
+		}
+		if _, ok := obs.ParseCause(req.Cause); !ok {
+			return &server.Response{Error: fmt.Sprintf("%v: got %q", server.ErrInvalidChainCause, req.Cause)}
+		}
+		return &server.Response{OK: true, Result: obs.AssembleChain(req.Cause, evs)}
+	case "shard.status":
+		fleet := make([]Status, len(calls))
+		for d, resp := range calls {
+			if err := json.Unmarshal(resp.Value, &fleet[d]); err != nil {
+				return fail(fmt.Errorf("shard %d: %v", d, err))
+			}
+		}
+		st := Status{
+			Shards: rt.ring.Shards(),
+			Vnodes: rt.ring.Vnodes(),
+			Self:   -1,
+			Node:   "router",
+			Addrs:  append([]string(nil), rt.opts.Addrs...),
+			Fleet:  fleet,
+		}
+		raw, err := json.Marshal(st)
+		if err != nil {
+			return fail(err)
+		}
+		return &server.Response{OK: true, Value: raw}
+	}
+	return fail(fmt.Errorf("unmergeable op"))
+}
+
+// RateAck is one shard's acknowledgment of a broadcast trace.rate.
+type RateAck struct {
+	Shard int    `json:"shard"`
+	Node  string `json:"node"`
+	Rate  uint64 `json:"rate"`
+}
+
+// RateAcks is the router's trace.rate result: every shard's ack, in
+// ring order.
+type RateAcks struct {
+	Acks []RateAck `json:"acks"`
 }
 
 // handleLocal answers the ops the router owns: the transaction
@@ -436,20 +626,6 @@ func (s *rsession) handleLocal(req *server.Request) *server.Response {
 			MaxRequestBytes: s.rt.opts.MaxRequestBytes,
 		}
 		return &server.Response{OK: true, Result: st}
-	case "metrics":
-		return &server.Response{OK: true, Result: s.rt.reg.Snapshot()}
-	case "shard.status":
-		st := Status{
-			Shards: s.rt.ring.Shards(),
-			Vnodes: s.rt.ring.Vnodes(),
-			Self:   -1,
-			Addrs:  append([]string(nil), s.rt.opts.Addrs...),
-		}
-		raw, err := json.Marshal(st)
-		if err != nil {
-			return &server.Response{Error: err.Error()}
-		}
-		return &server.Response{OK: true, Value: raw}
 	}
 	return &server.Response{Error: fmt.Sprintf("shard: unroutable local op %q", req.Op)}
 }
@@ -618,7 +794,9 @@ func (rt *Router) serveBinary(conn net.Conn, br *bufio.Reader) {
 					d = rt.opts.StreamShard // repl.* admin ops
 				}
 				rt.requests.Add(1)
+				t0 := time.Now()
 				b, failed := sess.enter(d)
+				rt.routeNs.Observe(time.Since(t0).Nanoseconds())
 				if failed != nil {
 					reply(f.SID, f.ID, failed)
 					return

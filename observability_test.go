@@ -42,12 +42,31 @@ func TestObservabilityDocCoverage(t *testing.T) {
 			t.Errorf("flight incident kind %q is not documented in docs/OBSERVABILITY.md", kind)
 		}
 	}
+	for _, kind := range []string{
+		obs.ChainTrace, obs.ChainIncident, obs.ChainHop, obs.ChainCompletion,
+	} {
+		if !strings.Contains(doc, `"`+kind+`"`) {
+			t.Errorf("chain event kind %q is not documented in docs/OBSERVABILITY.md", kind)
+		}
+	}
+	for _, op := range []string{"trace.chain", "trace.rate"} {
+		if !strings.Contains(doc, "`"+op+"`") {
+			t.Errorf("op %q is not documented in docs/OBSERVABILITY.md", op)
+		}
+	}
+	for _, term := range []string{"Fleet observability", "E25", "BENCH_fleetobs.json"} {
+		if !strings.Contains(doc, term) {
+			t.Errorf("docs/OBSERVABILITY.md does not mention %q", term)
+		}
+	}
 	for _, typ := range []reflect.Type{
 		reflect.TypeOf(obs.Step{}),
 		reflect.TypeOf(obs.TraceRecord{}),
 		reflect.TypeOf(obs.IncidentRecord{}),
 		reflect.TypeOf(obs.MetricValue{}),
 		reflect.TypeOf(obs.Bucket{}),
+		reflect.TypeOf(obs.ChainEvent{}),
+		reflect.TypeOf(obs.ChainNode{}),
 	} {
 		for i := 0; i < typ.NumField(); i++ {
 			tag := typ.Field(i).Tag.Get("json")

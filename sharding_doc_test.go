@@ -31,7 +31,7 @@ func TestShardingDocCoverage(t *testing.T) {
 
 	// The shard ops must be specified in both the protocol reference
 	// and the sharding spec.
-	for _, op := range []string{"shard.ingest", "shard.status"} {
+	for _, op := range []string{"shard.ingest", "shard.status", "trace.rate", "trace.chain"} {
 		for path, doc := range map[string]string{"docs/SHARDING.md": shardDoc, "docs/PROTOCOL.md": protoDoc} {
 			if !strings.Contains(doc, "`"+op+"`") {
 				t.Errorf("op %q is not documented in %s", op, path)
@@ -41,7 +41,7 @@ func TestShardingDocCoverage(t *testing.T) {
 
 	// The fleet CLI surface: a reader must be able to boot a fleet from
 	// the spec alone.
-	for _, flag := range []string{"-shard-peers", "-shard-index", "-shard-vnodes", "-shards", "-stream-shard"} {
+	for _, flag := range []string{"-shard-peers", "-shard-index", "-shard-vnodes", "-shards", "-stream-shard", "-obs-addr"} {
 		if !strings.Contains(shardDoc, flag) {
 			t.Errorf("flag %q is not documented in docs/SHARDING.md", flag)
 		}
@@ -86,17 +86,24 @@ func TestShardingDocCoverage(t *testing.T) {
 
 	names := db.Observability().Names()
 	names = append(names, rt.Observability().Names()...)
-	saw := 0
+	saw, sawRouter := 0, 0
 	for _, name := range names {
-		if !strings.HasPrefix(name, "shard.") {
+		switch {
+		case strings.HasPrefix(name, "shard."):
+			saw++
+		case strings.HasPrefix(name, "router."):
+			sawRouter++
+		default:
 			continue
 		}
-		saw++
 		if !strings.Contains(obsDoc, "`"+name+"`") {
-			t.Errorf("shard metric %q is not documented in docs/OBSERVABILITY.md", name)
+			t.Errorf("fleet metric %q is not documented in docs/OBSERVABILITY.md", name)
 		}
 	}
 	if saw == 0 {
 		t.Fatal("no shard.* metrics registered; coverage check is vacuous")
+	}
+	if sawRouter == 0 {
+		t.Fatal("no router.* metrics registered; coverage check is vacuous")
 	}
 }
